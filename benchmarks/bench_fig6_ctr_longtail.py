@@ -1,0 +1,120 @@
+"""E1 / paper Fig. 6 — CTR vs item popularity, Sigmund vs co-occurrence.
+
+The paper's only data figure: "Sigmund's recommendations see
+significantly higher engagement for less popular items (the long tail)
+while they have virtually no effect on highly popular items", against a
+simple co-occurrence baseline, across all retailers over a 7-day window.
+
+We replay simulated traffic through both systems on the same fleet and
+print mean CTR per impressions-per-day bucket for each system plus the
+Sigmund/co-occurrence ratio — the paper's two curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_util import emit, fmt_row
+from benchmarks.conftest import build_cooccurrence, build_hybrid
+from repro.simulation.ctr import ClickModel, ctr_by_popularity_bucket, simulate_ctr
+
+
+def run_experiment(trained_fleet):
+    datasets = [dataset for dataset, _ in trained_fleet.values()]
+    models = {rid: model for rid, (_, model) in trained_fleet.items()}
+    systems = {
+        "cooccurrence": build_cooccurrence,
+        "sigmund": lambda ds: build_hybrid(ds, models[ds.retailer_id]),
+    }
+    return simulate_ctr(
+        datasets,
+        systems,
+        requests_per_retailer=220,
+        k=6,
+        days=7.0,
+        click_model=ClickModel(),
+        seed=6,
+    )
+
+
+def shared_buckets(report):
+    """One bucket edge set shared by both systems for comparability."""
+    pops = [
+        pop
+        for system in ("cooccurrence", "sigmund")
+        for pop, _ in report.item_rows(system)
+    ]
+    max_pop = max(pops)
+    edges = [0.0]
+    edge = 0.25
+    while edge < max_pop:
+        edges.append(edge)
+        edge *= 2.0
+    edges.append(float("inf"))
+    return edges
+
+
+def test_fig6_long_tail_lift(trained_fleet, benchmark, capsys):
+    report = run_experiment(trained_fleet)
+    edges = shared_buckets(report)
+    cooc_rows = ctr_by_popularity_bucket(report, "cooccurrence", edges)
+    sig_rows = ctr_by_popularity_bucket(report, "sigmund", edges)
+    cooc_by_label = {label: (ctr, items) for label, _, ctr, items in cooc_rows}
+    sig_by_label = {label: (ctr, items) for label, _, ctr, items in sig_rows}
+
+    lines = [
+        "Series: mean CTR of an item shown as a recommendation, bucketed by",
+        "that item's impressions/day (7-day window, all retailers).",
+        fmt_row("imp/day bucket", "cooc CTR", "sigmund CTR", "ratio",
+                widths=[22, 10, 12, 8]),
+    ]
+    ratios = []
+    for label in (row[0] for row in sig_rows):
+        sig_ctr, sig_items = sig_by_label[label]
+        cooc_ctr, _ = cooc_by_label.get(label, (float("nan"), 0))
+        ratio = sig_ctr / cooc_ctr if cooc_ctr and cooc_ctr > 0 else float("inf")
+        ratios.append((label, ratio, sig_items))
+        lines.append(
+            fmt_row(label, cooc_ctr, sig_ctr,
+                    f"{ratio:.2f}" if ratio != float("inf") else "inf",
+                    widths=[22, 10, 12, 8])
+        )
+    lines.append("")
+    lines.append(
+        f"overall CTR: cooccurrence={report.overall_ctr('cooccurrence'):.4f} "
+        f"sigmund={report.overall_ctr('sigmund'):.4f}"
+    )
+
+    # Shape assertions (the paper's qualitative claims):
+    # 1. Sigmund never loses overall.
+    assert report.overall_ctr("sigmund") >= report.overall_ctr("cooccurrence") * 0.9
+    # 2. The tail lift exceeds the head lift: compare the mean finite
+    #    ratio over the lower half of buckets vs the upper half.
+    finite = [(label, r) for label, r, _ in ratios if r != float("inf")]
+    if len(finite) >= 4:
+        half = len(finite) // 2
+        tail_lift = sum(r for _, r in finite[:half]) / half
+        head_lift = sum(r for _, r in finite[half:]) / (len(finite) - half)
+        lines.append(
+            f"tail-bucket mean lift {tail_lift:.2f}x vs head-bucket "
+            f"mean lift {head_lift:.2f}x"
+        )
+        assert tail_lift >= head_lift * 0.9, (
+            "factorization's advantage should concentrate in the tail"
+        )
+    emit("E1", "Fig. 6 — CTR vs popularity (Sigmund vs co-occurrence)",
+         lines, capsys)
+
+    # Timing kernel: one retailer's traffic replay.
+    one = next(iter(trained_fleet.values()))
+
+    def kernel():
+        simulate_ctr(
+            [one[0]],
+            {"sigmund": lambda ds: build_hybrid(ds, one[1])},
+            requests_per_retailer=30,
+            k=6,
+            seed=1,
+        )
+
+    benchmark(kernel)

@@ -1,0 +1,95 @@
+"""E2 — the value of per-retailer grid search (paper section III-C).
+
+"In our experiments, we found that a model with randomly chosen
+hyper-parameters can be a hundred times worse (on hold-out metrics) than
+the best model."
+
+We run a grid that spans good and pathological corners (tiny learning
+rates, crushing regularization, far too few factors) on one retailer and
+report the best/median/worst holdout MAP@10 plus the best/worst ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_util import emit, fmt_row
+from repro.core.config import ConfigRecord
+from repro.core.grid import GridSpec, generate_configs
+from repro.core.training import TrainerSettings, train_config
+from repro.models.bpr import BPRHyperParams
+
+SETTINGS = TrainerSettings(max_epochs_full=4, sampler="uniform")
+
+#: A grid that includes the pathological corners a random draw can hit:
+#: divergent learning rates, crushing regularization, starved factor
+#: counts, and plain SGD next to Adagrad.
+WIDE_GRID = GridSpec(
+    n_factors=(2, 16, 64),
+    learning_rates=(0.0005, 0.08, 5.0),
+    reg_items=(0.01, 2.0),
+    reg_contexts=(0.01,),
+    use_taxonomy=(True,),
+    use_brand=(True,),
+    use_price=(True,),
+    optimizers=("adagrad", "sgd"),
+    max_configs=36,
+)
+
+
+def run_experiment(medium_dataset):
+    configs = generate_configs(medium_dataset, WIDE_GRID)
+    outputs = []
+    for config in configs:
+        _, output = train_config(config, medium_dataset, SETTINGS)
+        outputs.append(output)
+    return outputs
+
+
+def test_grid_search_spread(medium_dataset, benchmark, capsys):
+    outputs = run_experiment(medium_dataset)
+    maps = sorted(o.map_at_10 for o in outputs)
+    best, worst = maps[-1], maps[0]
+    median = maps[len(maps) // 2]
+    floor = max(worst, 1e-4)
+    ratio = best / floor
+
+    by_quality = sorted(outputs, key=lambda o: -o.map_at_10)
+    lines = [
+        f"{len(outputs)} configurations trained on one retailer "
+        f"({medium_dataset.n_items} items)",
+        fmt_row("rank", "map@10", "factors", "lr", "reg_item", "taxonomy",
+                widths=[5, 8, 8, 8, 9, 9]),
+    ]
+    shown = by_quality[:3] + by_quality[-3:]
+    for rank, output in enumerate(shown, start=1):
+        params = output.config.params
+        lines.append(
+            fmt_row(
+                "best" if output is by_quality[0] else
+                ("worst" if output is by_quality[-1] else "."),
+                output.map_at_10, params.n_factors, params.learning_rate,
+                params.reg_item, str(params.use_taxonomy),
+                widths=[5, 8, 8, 8, 9, 9],
+            )
+        )
+    lines.append("")
+    lines.append(
+        f"best={best:.4f}  median={median:.4f}  worst={worst:.4f}  "
+        f"best/worst ratio={ratio:.0f}x"
+    )
+    lines.append("paper claim: a random config 'can be a hundred times worse'")
+
+    # Shape: bad corners must be at least an order of magnitude worse.
+    assert ratio >= 10.0, f"grid spread too small: {ratio:.1f}x"
+    assert best > median, "the grid's best should beat its median"
+    emit("E2", "grid search: best vs random hyper-parameters", lines, capsys)
+
+    # Timing kernel: one Train() call on the smallest config.
+    quick = ConfigRecord(
+        medium_dataset.retailer_id, 999,
+        BPRHyperParams(n_factors=4, seed=0),
+    )
+    fast = TrainerSettings(max_epochs_full=1, sampler="uniform")
+    benchmark(lambda: train_config(quick, medium_dataset, fast))

@@ -1,0 +1,87 @@
+"""E11 — why MAP@10, not AUC (paper section III-C2).
+
+"We disregard AUC since it considers all positions on the ranked list
+with equal importance ... for large merchants, the magnitude of the AUC
+difference between a good model and a mediocre one is very small (often
+in the fourth or fifth significant digit) and difficult to interpret."
+
+We train a good and a mediocre model on a larger catalog and compare how
+each metric separates them: relative MAP@10 difference vs relative AUC
+difference, plus the decimal digit at which the AUC values first differ.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.bench_util import emit, fmt_row
+from benchmarks.conftest import train_bpr
+from repro.data.datasets import dataset_from_synthetic
+from repro.data.generator import RetailerSpec, generate_retailer
+from repro.evaluation.evaluator import HoldoutEvaluator
+
+
+@pytest.fixture(scope="module")
+def large_dataset():
+    retailer = generate_retailer(
+        RetailerSpec(
+            retailer_id="bench_large",
+            n_items=1500,
+            n_users=500,
+            n_events=7000,
+            taxonomy_depth=3,
+            seed=31,
+        )
+    )
+    return dataset_from_synthetic(retailer)
+
+
+def first_differing_digit(a: float, b: float) -> int:
+    """1-based decimal position where two values in [0,1] first differ."""
+    gap = abs(a - b)
+    if gap == 0:
+        return 99
+    return max(1, int(math.floor(-math.log10(gap))) + 1)
+
+
+def test_map_separates_where_auc_compresses(large_dataset, benchmark, capsys):
+    good = train_bpr(large_dataset, n_factors=16, learning_rate=0.08,
+                     max_epochs=6, seed=1)
+    mediocre = train_bpr(large_dataset, n_factors=4, learning_rate=0.03,
+                         max_epochs=2, seed=2)
+
+    evaluator = HoldoutEvaluator(large_dataset)
+    good_result = evaluator.evaluate(good, force_exact=True)
+    mediocre_result = evaluator.evaluate(mediocre, force_exact=True)
+
+    map_good, map_mediocre = good_result.map_at_10, mediocre_result.map_at_10
+    auc_good = good_result.metric("auc")
+    auc_mediocre = mediocre_result.metric("auc")
+    map_rel = (map_good - map_mediocre) / max(map_mediocre, 1e-9)
+    auc_rel = (auc_good - auc_mediocre) / max(auc_mediocre, 1e-9)
+    digit = first_differing_digit(auc_good, auc_mediocre)
+
+    lines = [
+        f"catalog: {large_dataset.n_items} items "
+        f"({len(large_dataset.holdout)} holdout examples)",
+        fmt_row("model", "map@10", "auc", widths=[10, 9, 9]),
+        fmt_row("good", map_good, auc_good, widths=[10, 9, 9]),
+        fmt_row("mediocre", map_mediocre, auc_mediocre, widths=[10, 9, 9]),
+        "",
+        f"relative separation: MAP {map_rel * 100:.0f}% vs AUC "
+        f"{auc_rel * 100:.2f}%",
+        f"AUC values first differ at decimal digit {digit} "
+        f"(paper: 'fourth or fifth significant digit')",
+    ]
+
+    assert map_good > map_mediocre
+    assert auc_good >= auc_mediocre * 0.999  # both look 'fine' by AUC
+    assert map_rel > 10 * max(auc_rel, 1e-9), (
+        "MAP must separate the models an order of magnitude better"
+    )
+    assert digit >= 2, "AUC difference should be buried in late digits"
+    emit("E11", "MAP@10 separates models; AUC compresses", lines, capsys)
+
+    benchmark(lambda: evaluator.evaluate(good, force_sampled=True))

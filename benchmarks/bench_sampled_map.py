@@ -1,0 +1,78 @@
+"""E4 — sampled MAP does not change model selection (paper section III-C2).
+
+"To save CPU cost, we sample 10% of the items and only estimate the MAP.
+We verified that this approximation does not hurt our model selection
+criterion."
+
+We train several models of varying quality, compute exact and 10%-sampled
+MAP@10 for each, and check that (a) the selected best model is identical
+and (b) the pairwise ordering is largely preserved.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_util import emit, fmt_row
+from benchmarks.conftest import train_bpr
+from repro.evaluation.evaluator import HoldoutEvaluator
+from repro.models.popularity import PopularityModel
+
+
+def build_model_zoo(dataset):
+    """Models spanning the quality range, like a real grid's outputs."""
+    zoo = {
+        "bpr_good": train_bpr(dataset, n_factors=16, learning_rate=0.08,
+                              max_epochs=7, seed=1),
+        "bpr_mid": train_bpr(dataset, n_factors=8, learning_rate=0.05,
+                             max_epochs=3, seed=2),
+        "bpr_tiny_lr": train_bpr(dataset, n_factors=8, learning_rate=0.0005,
+                                 max_epochs=2, seed=3),
+        "bpr_overreg": train_bpr(dataset, n_factors=8, learning_rate=0.05,
+                                 reg_item=2.0, max_epochs=2, seed=4),
+        "popularity": PopularityModel(dataset.n_items, dataset.train),
+    }
+    return zoo
+
+
+def test_sampled_map_preserves_selection(medium_dataset, benchmark, capsys):
+    zoo = build_model_zoo(medium_dataset)
+    evaluator = HoldoutEvaluator(medium_dataset, sample_fraction=0.1)
+
+    exact, sampled = {}, {}
+    for name, model in zoo.items():
+        exact[name] = evaluator.evaluate(model, force_exact=True).map_at_10
+        sampled[name] = evaluator.evaluate(model, force_sampled=True).map_at_10
+
+    lines = [fmt_row("model", "exact MAP", "sampled MAP",
+                     widths=[14, 10, 12])]
+    for name in sorted(zoo, key=lambda n: -exact[n]):
+        lines.append(fmt_row(name, exact[name], sampled[name],
+                             widths=[14, 10, 12]))
+
+    best_exact = max(exact, key=exact.get)
+    best_sampled = max(sampled, key=sampled.get)
+    pairs = list(itertools.combinations(zoo, 2))
+    agreements = sum(
+        1
+        for a, b in pairs
+        if (exact[a] >= exact[b]) == (sampled[a] >= sampled[b])
+    )
+    agreement_rate = agreements / len(pairs)
+    lines.append("")
+    lines.append(f"selected best (exact):   {best_exact}")
+    lines.append(f"selected best (sampled): {best_sampled}")
+    lines.append(
+        f"pairwise order agreement: {agreements}/{len(pairs)} "
+        f"({agreement_rate * 100:.0f}%)"
+    )
+
+    assert best_exact == best_sampled, "sampling changed model selection"
+    assert agreement_rate >= 0.8
+    emit("E4", "10% sampled MAP preserves model selection", lines, capsys)
+
+    model = zoo["bpr_good"]
+    benchmark(lambda: evaluator.evaluate(model, force_sampled=True))

@@ -1,0 +1,105 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark reproduces one paper figure/claim (see DESIGN.md's
+experiment index).  Training is deliberately small-scale — the paper's
+*shapes* (who wins, by what factor, where crossovers fall) are what we
+reproduce, not Google-scale absolute numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.cooccurrence.model import CoOccurrenceModel
+from repro.core.hybrid import HybridRecommender
+from repro.data.datasets import RetailerDataset, dataset_from_synthetic
+from repro.data.generator import (
+    MarketplaceSpec,
+    RetailerSpec,
+    generate_marketplace,
+    generate_retailer,
+)
+from repro.models.bpr import BPRHyperParams, BPRModel
+from repro.models.trainer import BPRTrainer
+
+
+def train_bpr(
+    dataset: RetailerDataset,
+    n_factors: int = 12,
+    learning_rate: float = 0.08,
+    max_epochs: int = 6,
+    seed: int = 1,
+    **params,
+) -> BPRModel:
+    """One reasonable BPR model for a dataset (no grid search)."""
+    model = BPRModel(
+        dataset.catalog,
+        dataset.taxonomy,
+        BPRHyperParams(
+            n_factors=n_factors, learning_rate=learning_rate, seed=seed, **params
+        ),
+    )
+    BPRTrainer(model, dataset, max_epochs=max_epochs, seed=seed).train()
+    return model
+
+
+def build_cooccurrence(dataset: RetailerDataset) -> CoOccurrenceModel:
+    counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
+    return CoOccurrenceModel(counts)
+
+
+def build_hybrid(dataset: RetailerDataset, model: BPRModel) -> HybridRecommender:
+    return HybridRecommender(model, build_cooccurrence(dataset), min_support=2.0)
+
+
+@pytest.fixture(scope="session")
+def fleet() -> List[RetailerDataset]:
+    """A heterogeneous 6-retailer fleet (the multi-tenant workload)."""
+    retailers = generate_marketplace(
+        MarketplaceSpec(
+            n_retailers=6,
+            median_items=120,
+            sigma_items=0.9,
+            # Sparse traffic: plenty of items never co-occur, which is the
+            # regime where the paper's long-tail story lives.
+            users_per_item=0.6,
+            events_per_user=8.0,
+            seed=42,
+        )
+    )
+    return [dataset_from_synthetic(retailer) for retailer in retailers]
+
+
+@pytest.fixture(scope="session")
+def medium_dataset() -> RetailerDataset:
+    """One mid-sized retailer used by several single-retailer experiments."""
+    retailer = generate_retailer(
+        RetailerSpec(
+            retailer_id="bench_medium",
+            n_items=250,
+            n_users=220,
+            n_events=4200,
+            seed=13,
+        )
+    )
+    return dataset_from_synthetic(retailer)
+
+
+@pytest.fixture(scope="session")
+def medium_model(medium_dataset) -> BPRModel:
+    return train_bpr(medium_dataset, max_epochs=8)
+
+
+@pytest.fixture(scope="session")
+def trained_fleet(fleet) -> Dict[str, Tuple[RetailerDataset, BPRModel]]:
+    """dataset + one trained BPR model per fleet retailer."""
+    return {
+        dataset.retailer_id: (
+            dataset,
+            train_bpr(dataset, n_factors=16, max_epochs=8),
+        )
+        for dataset in fleet
+    }

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``    — one-retailer train/evaluate/recommend walk-through.
+* ``service`` — run the multi-tenant service for N days on a synthetic
+  marketplace and print the daily reports.
+* ``train``   — train a model on CSV data (catalog + events files) and
+  print holdout metrics.
+* ``inspect`` — summarize a CSV dataset (sizes, coverage, event mix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    BPRHyperParams,
+    BPRModel,
+    BPRTrainer,
+    GridSpec,
+    HoldoutEvaluator,
+    MarketplaceSpec,
+    RetailerSpec,
+    SigmundService,
+    TrainerSettings,
+    build_cluster,
+    dataset_from_synthetic,
+    generate_marketplace,
+    generate_retailer,
+)
+from repro.data.loaders import dataset_from_files
+from repro.models.popularity import PopularityModel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sigmund reproduction: recommendations as a service",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="single-retailer walk-through")
+    demo.add_argument("--items", type=int, default=300)
+    demo.add_argument("--users", type=int, default=250)
+    demo.add_argument("--events", type=int, default=4000)
+    demo.add_argument("--factors", type=int, default=16)
+    demo.add_argument("--epochs", type=int, default=8)
+    demo.add_argument("--seed", type=int, default=7)
+
+    service = commands.add_parser("service", help="multi-tenant daily loop")
+    service.add_argument("--retailers", type=int, default=4)
+    service.add_argument("--days", type=int, default=3)
+    service.add_argument("--median-items", type=int, default=80)
+    service.add_argument("--seed", type=int, default=0)
+
+    train = commands.add_parser("train", help="train on CSV data")
+    train.add_argument("catalog", help="catalog CSV path")
+    train.add_argument("events", help="interactions CSV path")
+    train.add_argument("--retailer-id", default="csv_retailer")
+    train.add_argument("--factors", type=int, default=16)
+    train.add_argument("--epochs", type=int, default=8)
+
+    inspect = commands.add_parser("inspect", help="summarize CSV data")
+    inspect.add_argument("catalog", help="catalog CSV path")
+    inspect.add_argument("events", help="interactions CSV path")
+    inspect.add_argument("--retailer-id", default="csv_retailer")
+    return parser
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    retailer = generate_retailer(
+        RetailerSpec(
+            retailer_id="demo",
+            n_items=args.items,
+            n_users=args.users,
+            n_events=args.events,
+            seed=args.seed,
+        )
+    )
+    dataset = dataset_from_synthetic(retailer)
+    print(f"retailer: {dataset.n_items} items, "
+          f"{dataset.n_train_interactions} interactions")
+    model = BPRModel(
+        dataset.catalog, dataset.taxonomy,
+        BPRHyperParams(n_factors=args.factors, learning_rate=0.08,
+                       seed=args.seed),
+    )
+    report = BPRTrainer(model, dataset, max_epochs=args.epochs).train()
+    print(f"trained {report.epochs_run} epochs; "
+          f"loss {report.epoch_losses[0]:.3f} -> {report.final_loss:.3f}")
+    evaluator = HoldoutEvaluator(dataset)
+    bpr_map = evaluator.evaluate(model).map_at_10
+    pop_map = evaluator.evaluate(
+        PopularityModel(dataset.n_items, dataset.train)
+    ).map_at_10
+    print(f"MAP@10: bpr={bpr_map:.4f} popularity={pop_map:.4f}")
+    example = dataset.holdout[0]
+    print("top-5 for one holdout context:")
+    for rec in model.recommend(example.context, k=5):
+        print(f"  {dataset.catalog[rec.item_index].item_id}  "
+              f"score={rec.score:.3f}")
+    return 0
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    service = SigmundService(
+        build_cluster(n_cells=2, machines_per_cell=6),
+        grid=GridSpec.small(),
+        settings=TrainerSettings(
+            max_epochs_full=3, max_epochs_incremental=2, sampler="uniform"
+        ),
+    )
+    fleet = generate_marketplace(
+        MarketplaceSpec(
+            n_retailers=args.retailers,
+            median_items=args.median_items,
+            seed=args.seed,
+        )
+    )
+    for retailer in fleet:
+        service.onboard(dataset_from_synthetic(retailer))
+        print(f"onboarded {retailer.retailer_id} ({retailer.n_items} items)")
+    for _ in range(args.days):
+        report = service.run_day()
+        print(
+            f"day {report.day}: sweep={report.sweep_kind} "
+            f"models={report.configs_trained} served={report.retailers_served} "
+            f"cost={report.total_cost:.4f}"
+        )
+    print(f"total cost: {service.total_cost():.4f}")
+    for retailer_id, cost in sorted(service.retailer_costs().items()):
+        print(f"  chargeback {retailer_id}: {cost:.4f}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = dataset_from_files(args.catalog, args.events, args.retailer_id)
+    print(f"loaded: {dataset.n_items} items, "
+          f"{dataset.n_train_interactions} interactions, "
+          f"{len(dataset.holdout)} holdout examples")
+    model = BPRModel(
+        dataset.catalog, dataset.taxonomy,
+        BPRHyperParams(n_factors=args.factors, learning_rate=0.08),
+    )
+    report = BPRTrainer(model, dataset, max_epochs=args.epochs).train()
+    result = HoldoutEvaluator(dataset).evaluate(model)
+    print(f"epochs={report.epochs_run} map@10={result.map_at_10:.4f} "
+          f"mean_rank={result.metric('mean_rank'):.1f}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    dataset = dataset_from_files(args.catalog, args.events, args.retailer_id)
+    for key, value in dataset.describe().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+COMMANDS = {
+    "demo": cmd_demo,
+    "service": cmd_service,
+    "train": cmd_train,
+    "inspect": cmd_inspect,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

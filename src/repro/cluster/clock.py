@@ -1,0 +1,40 @@
+"""Simulated wall clock.
+
+All pipeline timing (checkpoint intervals, task durations, makespans) is
+measured against this clock, never the host's, so experiments are exact
+and instantaneous regardless of real elapsed time.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ClusterError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ClusterError(f"cannot advance clock by {seconds} seconds")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (must not be in the past)."""
+        if timestamp < self._now:
+            raise ClusterError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.3f})"

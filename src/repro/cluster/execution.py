@@ -1,0 +1,172 @@
+"""Executing work on failure-prone VMs, with optional checkpointing.
+
+This is the analytical heart of the paper's fault-tolerance story
+(sections II-B, IV-B3): is pre-emptible capacity worth the restarts?
+``run_with_preemptions`` simulates a job that needs ``work_seconds`` of
+compute on a VM whose uptime is drawn from :class:`PreemptionModel`.
+With checkpointing, only the work since the latest checkpoint is lost per
+pre-emption; without it, every pre-emption restarts the job from zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.machine import Priority, VMRequest
+from repro.cluster.preemption import PreemptionModel
+from repro.exceptions import ClusterError
+from repro.rng import SeedLike, make_rng
+
+#: Safety valve: simulation aborts after this many attempts.
+MAX_ATTEMPTS = 100_000
+
+
+@dataclass
+class ExecutionTrace:
+    """What happened while running one job to completion."""
+
+    work_seconds: float
+    wall_seconds: float = 0.0
+    billed_seconds: float = 0.0
+    attempts: int = 0
+    preemptions: int = 0
+    lost_work_seconds: float = 0.0
+    checkpoints_written: int = 0
+    checkpoint_overhead_seconds: float = 0.0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Billed time beyond the ideal run, as a fraction of the ideal."""
+        if self.work_seconds == 0:
+            return 0.0
+        return (self.billed_seconds - self.work_seconds) / self.work_seconds
+
+
+def run_with_preemptions(
+    work_seconds: float,
+    priority: Priority = Priority.PREEMPTIBLE,
+    preemption_model: PreemptionModel = PreemptionModel(),
+    checkpoint_interval: Optional[float] = 300.0,
+    checkpoint_write_seconds: float = 2.0,
+    restart_overhead_seconds: float = 30.0,
+    seed: SeedLike = None,
+) -> ExecutionTrace:
+    """Simulate one job run to completion under pre-emptions.
+
+    ``checkpoint_interval=None`` disables checkpointing (pre-emption loses
+    everything).  The paper checkpoints on a *fixed time interval* rather
+    than per-iteration precisely so this loss is bounded regardless of
+    retailer size; experiment E6 contrasts the two policies.
+
+    Billed time covers everything the VM was held for: useful work,
+    checkpoint writes, restart overhead, and work later thrown away.
+    """
+    if work_seconds < 0:
+        raise ClusterError("work_seconds must be non-negative")
+    if checkpoint_interval is not None and checkpoint_interval <= 0:
+        raise ClusterError("checkpoint_interval must be positive or None")
+    rng = make_rng(seed)
+    trace = ExecutionTrace(work_seconds=work_seconds)
+    completed = 0.0  # durable progress (restored from the latest checkpoint)
+
+    while completed < work_seconds:
+        trace.attempts += 1
+        if trace.attempts > MAX_ATTEMPTS:
+            raise ClusterError(
+                "job never finished; pre-emption rate too high for its length"
+            )
+        uptime = preemption_model.sample_time_to_preemption(priority, rng)
+        # Each attempt pays a restart overhead before doing useful work
+        # (loading data, restoring the checkpoint).
+        attempt_elapsed = restart_overhead_seconds if trace.attempts > 1 else 0.0
+        attempt_progress = 0.0  # work done this attempt, may be partly lost
+        attempt_durable = completed
+
+        while True:
+            remaining_work = work_seconds - (attempt_durable + attempt_progress)
+            if remaining_work <= 0:
+                break
+            if checkpoint_interval is None:
+                next_stop = remaining_work
+                is_checkpoint = False
+            else:
+                next_stop = min(remaining_work, checkpoint_interval)
+                is_checkpoint = next_stop == checkpoint_interval
+            if attempt_elapsed + next_stop > uptime:
+                # Pre-empted mid-segment: progress since the last durable
+                # point is lost.
+                worked_before_preemption = max(0.0, uptime - attempt_elapsed)
+                attempt_elapsed = uptime
+                trace.preemptions += 1
+                trace.lost_work_seconds += attempt_progress + worked_before_preemption
+                trace.billed_seconds += attempt_elapsed
+                trace.wall_seconds += attempt_elapsed
+                break
+            attempt_elapsed += next_stop
+            attempt_progress += next_stop
+            if is_checkpoint and attempt_durable + attempt_progress < work_seconds:
+                if attempt_elapsed + checkpoint_write_seconds > uptime:
+                    # Pre-empted during the checkpoint write itself.
+                    trace.preemptions += 1
+                    trace.lost_work_seconds += attempt_progress
+                    trace.billed_seconds += uptime
+                    trace.wall_seconds += uptime
+                    attempt_elapsed = uptime
+                    break
+                attempt_elapsed += checkpoint_write_seconds
+                trace.checkpoints_written += 1
+                trace.checkpoint_overhead_seconds += checkpoint_write_seconds
+                attempt_durable += attempt_progress
+                attempt_progress = 0.0
+        else:  # pragma: no cover - while/else never used
+            pass
+
+        if attempt_durable + attempt_progress >= work_seconds:
+            # Finished within this attempt's uptime.
+            trace.billed_seconds += attempt_elapsed
+            trace.wall_seconds += attempt_elapsed
+            completed = work_seconds
+        else:
+            completed = attempt_durable
+    return trace
+
+
+def expected_cost_comparison(
+    work_seconds: float,
+    request_cpus: int,
+    request_memory_gb: float,
+    pricing,
+    preemption_model: PreemptionModel = PreemptionModel(),
+    checkpoint_interval: Optional[float] = 300.0,
+    trials: int = 50,
+    seed: SeedLike = 0,
+) -> dict:
+    """Monte-Carlo cost of a job on pre-emptible vs regular capacity.
+
+    Convenience used by examples and the E5 benchmark: same job, two
+    priorities, averaged over ``trials`` simulated runs each.
+    """
+    rng = make_rng(seed)
+    results = {}
+    for priority in (Priority.PREEMPTIBLE, Priority.REGULAR):
+        request = VMRequest(request_cpus, request_memory_gb, priority)
+        costs, walls = [], []
+        for _ in range(trials):
+            trace = run_with_preemptions(
+                work_seconds,
+                priority=priority,
+                preemption_model=preemption_model,
+                checkpoint_interval=checkpoint_interval,
+                seed=rng,
+            )
+            costs.append(pricing.cost(request, trace.billed_seconds))
+            walls.append(trace.wall_seconds)
+        results[priority.value] = {
+            "mean_cost": sum(costs) / trials,
+            "mean_wall_seconds": sum(walls) / trials,
+        }
+    regular = results[Priority.REGULAR.value]["mean_cost"]
+    preemptible = results[Priority.PREEMPTIBLE.value]["mean_cost"]
+    results["savings_fraction"] = 1.0 - preemptible / regular if regular else 0.0
+    return results

@@ -1,0 +1,71 @@
+"""Stochastic pre-emption model for low-priority VMs.
+
+Pre-emptible VMs "can be torn down with a much higher probability"
+(section II-B).  We model pre-emption arrivals per VM as a Poisson
+process: the time to the next pre-emption is exponential with a mean of
+``mean_uptime_hours``.  Regular VMs fail too, but orders of magnitude
+more rarely (hardware, kernel upgrades), matching production reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import Priority
+from repro.exceptions import ClusterError
+from repro.rng import SeedLike, make_rng
+
+#: Hours of expected uptime for each priority class.
+DEFAULT_MEAN_UPTIME_HOURS = {
+    Priority.PREEMPTIBLE: 6.0,
+    Priority.REGULAR: 24.0 * 30.0,
+}
+
+
+@dataclass(frozen=True)
+class PreemptionModel:
+    """Samples time-to-pre-emption for a VM of a given priority."""
+
+    preemptible_mean_uptime_hours: float = DEFAULT_MEAN_UPTIME_HOURS[
+        Priority.PREEMPTIBLE
+    ]
+    regular_mean_uptime_hours: float = DEFAULT_MEAN_UPTIME_HOURS[Priority.REGULAR]
+
+    def __post_init__(self) -> None:
+        if self.preemptible_mean_uptime_hours <= 0:
+            raise ClusterError("pre-emptible mean uptime must be positive")
+        if self.regular_mean_uptime_hours <= 0:
+            raise ClusterError("regular mean uptime must be positive")
+
+    def mean_uptime_seconds(self, priority: Priority) -> float:
+        hours = (
+            self.preemptible_mean_uptime_hours
+            if priority is Priority.PREEMPTIBLE
+            else self.regular_mean_uptime_hours
+        )
+        return hours * 3600.0
+
+    def sample_time_to_preemption(
+        self, priority: Priority, rng: SeedLike = None
+    ) -> float:
+        """Seconds until this VM is torn down (exponential)."""
+        generator = make_rng(rng)
+        return float(generator.exponential(self.mean_uptime_seconds(priority)))
+
+    def survival_probability(self, priority: Priority, duration_seconds: float) -> float:
+        """P(no pre-emption within ``duration_seconds``) — for analysis."""
+        if duration_seconds < 0:
+            raise ClusterError("duration must be non-negative")
+        return math.exp(-duration_seconds / self.mean_uptime_seconds(priority))
+
+    def expected_attempts(self, priority: Priority, duration_seconds: float) -> float:
+        """Expected number of attempts to finish an *uncheckpointed* run.
+
+        A run of length ``d`` on a VM with exponential uptime (mean ``m``)
+        succeeds per attempt with probability ``exp(-d/m)``; attempts are
+        geometric, so the expectation is ``exp(d/m)``.
+        """
+        return 1.0 / self.survival_probability(priority, duration_seconds)

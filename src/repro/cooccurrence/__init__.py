@@ -1,0 +1,20 @@
+"""Item-item co-occurrence models (paper section III-E).
+
+Co-occurrence/PMI recommenders are the simple, scalable industry
+workhorse (Amazon item-to-item CF [2], YouTube [25]).  Sigmund uses them
+two ways: as the production recommender for *popular* items (where data
+is plentiful), and as the baseline that Fig. 6 compares against.  The
+co-occurrence counts also feed candidate selection (``cv(i)``/``cb(i)``)
+and the co-occurrence-excluding negative sampler.
+"""
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.cooccurrence.model import CoOccurrenceModel
+from repro.cooccurrence.pmi import pmi_score, pmi_table
+
+__all__ = [
+    "CoOccurrenceCounts",
+    "CoOccurrenceModel",
+    "pmi_score",
+    "pmi_table",
+]

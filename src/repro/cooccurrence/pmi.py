@@ -1,0 +1,61 @@
+"""Pointwise mutual information scoring over co-occurrence counts.
+
+PMI normalizes raw pair counts by item popularity so that "everything
+co-occurs with the bestseller" does not dominate:
+
+    pmi(i, j) = log( P(i, j) / (P(i) * P(j)) )
+
+A small additive smoothing keeps rare pairs from exploding, which is the
+standard industrial variant the paper's references use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+
+#: Additive smoothing mass for marginals and pairs.
+DEFAULT_SMOOTHING = 0.5
+
+
+def pmi_score(
+    counts: CoOccurrenceCounts,
+    item_a: int,
+    item_b: int,
+    use_buys: bool = False,
+    smoothing: float = DEFAULT_SMOOTHING,
+) -> float:
+    """Smoothed PMI between two items over the co-view (or co-buy) table."""
+    if use_buys:
+        pair = counts.co_bought(item_a).get(item_b, 0.0)
+        total = max(counts.total_buy_pairs, 1.0)
+        marginal_a = counts.buy_counts.get(item_a, 0.0)
+        marginal_b = counts.buy_counts.get(item_b, 0.0)
+    else:
+        pair = counts.co_viewed(item_a).get(item_b, 0.0)
+        total = max(counts.total_view_pairs, 1.0)
+        marginal_a = counts.view_counts.get(item_a, 0.0)
+        marginal_b = counts.view_counts.get(item_b, 0.0)
+    numerator = (pair + smoothing) / (total + smoothing)
+    denominator = ((marginal_a + smoothing) * (marginal_b + smoothing)) / (
+        (total + smoothing) ** 2
+    )
+    return math.log(numerator / denominator)
+
+
+def pmi_table(
+    counts: CoOccurrenceCounts,
+    item_index: int,
+    use_buys: bool = False,
+    smoothing: float = DEFAULT_SMOOTHING,
+) -> Dict[int, float]:
+    """PMI of ``item_index`` against every item it co-occurs with."""
+    neighbours = (
+        counts.co_bought(item_index) if use_buys else counts.co_viewed(item_index)
+    )
+    return {
+        other: pmi_score(counts, item_index, other, use_buys=use_buys, smoothing=smoothing)
+        for other in neighbours
+    }

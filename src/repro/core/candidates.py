@@ -1,0 +1,303 @@
+"""Candidate selection for inference (paper section III-D1).
+
+Naively ranking every item per context is quadratic in catalog size.
+Sigmund instead selects ~a thousand likely candidates per item:
+
+* **View-based** (substitutes): ``C = union over j in cv(i) of lca_k(j)``
+  — taxonomy-expand the co-viewed items.  ``k = 2`` is the paper's
+  empirical sweet spot between precision and coverage.
+* **Purchase-based** (complements/accessories):
+  ``C = union over j in cb(i) of lca_1(j) minus lca_1(i)`` — co-bought
+  items expanded tightly, with the query item's own substitutes removed.
+* **Re-purchasable categories** (diapers, water): detected by repeat
+  purchases; for them the substitutes are *not* removed and periodic
+  recommendations are made on the category's observed repurchase cycle.
+* **Late-funnel users** get candidates constrained to the query item's
+  facets (same color apparel, same weight-class laptop, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.data.catalog import Catalog
+from repro.data.events import EventType, Interaction
+from repro.data.sessions import UserContext
+from repro.data.taxonomy import Taxonomy
+from repro.exceptions import DataError
+
+#: Paper: "empirically we found that setting k = 2 provides a good
+#: trade-off between quality and coverage" for view-based selection.
+DEFAULT_VIEW_LCA_K = 2
+#: Paper: "expanding with lca1 provides the best recommendations" for
+#: purchase-based selection.
+DEFAULT_PURCHASE_LCA_K = 1
+#: Paper: "select a subset of likely candidates (about a thousand)".
+DEFAULT_MAX_CANDIDATES = 1000
+#: How many co-occurring neighbours seed the expansion.
+DEFAULT_CO_NEIGHBOURS = 20
+
+
+def classify_funnel(context: UserContext, taxonomy: Taxonomy) -> str:
+    """Classify a user context as ``"early"`` or ``"late"`` funnel.
+
+    Paper section III-D1: "we also distinguish between early funnel and
+    late funnel users.  For late funnel users, we focus very close to the
+    viewed item".  A user is late-funnel when their recent actions show
+    *converged intent*: strong events (search/cart) concentrated in one
+    category neighbourhood.  Browsing across categories is early funnel.
+    """
+    if len(context) < 2:
+        return "early"
+    recent_items = context.item_indices[-4:]
+    recent_events = context.events[-4:]
+    has_strong_intent = any(
+        event >= EventType.SEARCH for event in recent_events
+    )
+    if not has_strong_intent:
+        return "early"
+    categorized = [
+        item for item in recent_items if taxonomy.has_item(item)
+    ]
+    if len(categorized) < 2:
+        return "early"
+    anchor = categorized[-1]
+    near = sum(
+        1
+        for item in categorized
+        if taxonomy.lca_distance(item, anchor) <= 2
+    )
+    return "late" if near / len(categorized) >= 0.75 else "early"
+
+
+class RepurchaseDetector:
+    """Finds categories users buy repeatedly, and their purchase cadence."""
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        interactions: Sequence[Interaction],
+        min_repeat_users: int = 2,
+    ):
+        self.taxonomy = taxonomy
+        self.min_repeat_users = min_repeat_users
+        self._repeat_users: Dict[str, Set[int]] = defaultdict(set)
+        self._gaps: Dict[str, List[float]] = defaultdict(list)
+        self._observe(interactions)
+
+    def _observe(self, interactions: Sequence[Interaction]) -> None:
+        last_purchase: Dict[tuple, float] = {}
+        for interaction in sorted(interactions, key=lambda it: it.timestamp):
+            if interaction.event != EventType.CONVERSION:
+                continue
+            if not self.taxonomy.has_item(interaction.item_index):
+                continue
+            category = self.taxonomy.category_of(interaction.item_index)
+            key = (interaction.user_id, category)
+            previous = last_purchase.get(key)
+            if previous is not None:
+                self._repeat_users[category].add(interaction.user_id)
+                self._gaps[category].append(interaction.timestamp - previous)
+            last_purchase[key] = interaction.timestamp
+
+    def is_repurchasable(self, category_id: str) -> bool:
+        """A category enough distinct users purchased twice or more."""
+        return len(self._repeat_users.get(category_id, ())) >= self.min_repeat_users
+
+    def repurchasable_categories(self) -> List[str]:
+        return sorted(
+            category
+            for category, users in self._repeat_users.items()
+            if len(users) >= self.min_repeat_users
+        )
+
+    def mean_repurchase_gap(self, category_id: str) -> Optional[float]:
+        """Average time between purchases in the category (None if unknown)."""
+        gaps = self._gaps.get(category_id)
+        if not gaps:
+            return None
+        return sum(gaps) / len(gaps)
+
+    def due_for_repurchase(
+        self, history: Sequence[Interaction], now: float, slack: float = 0.25
+    ) -> List[int]:
+        """Items whose category cycle says the user is due to buy again.
+
+        An item is due when ``now - last_purchase >= (1 - slack) * cycle``.
+        """
+        due = []
+        last_by_item: Dict[int, float] = {}
+        for interaction in history:
+            if interaction.event == EventType.CONVERSION:
+                last_by_item[interaction.item_index] = max(
+                    last_by_item.get(interaction.item_index, 0.0),
+                    interaction.timestamp,
+                )
+        for item, last_time in last_by_item.items():
+            if not self.taxonomy.has_item(item):
+                continue
+            category = self.taxonomy.category_of(item)
+            if not self.is_repurchasable(category):
+                continue
+            cycle = self.mean_repurchase_gap(category)
+            if cycle is None:
+                continue
+            if now - last_time >= (1.0 - slack) * cycle:
+                due.append(item)
+        return sorted(due)
+
+
+@dataclass
+class CandidateSelector:
+    """Produces the ranked-candidate pool for each item (per retailer)."""
+
+    taxonomy: Taxonomy
+    counts: CoOccurrenceCounts
+    catalog: Catalog
+    repurchase: Optional[RepurchaseDetector] = None
+    view_lca_k: int = DEFAULT_VIEW_LCA_K
+    purchase_lca_k: int = DEFAULT_PURCHASE_LCA_K
+    max_candidates: int = DEFAULT_MAX_CANDIDATES
+    co_neighbours: int = DEFAULT_CO_NEIGHBOURS
+
+    def __post_init__(self) -> None:
+        if self.max_candidates < 1:
+            raise DataError("max_candidates must be >= 1")
+
+    # ------------------------------------------------------------------
+    # View-based (substitutes, before the purchase decision)
+    # ------------------------------------------------------------------
+    def view_based(
+        self,
+        item_index: int,
+        lca_k: Optional[int] = None,
+        same_facets: Optional[Sequence[str]] = None,
+    ) -> List[int]:
+        """``C = union over j in cv(i) of lca_k(j)`` (minus the item itself).
+
+        Cold items with no co-view data fall back to their own taxonomy
+        neighbourhood — the cold-start path the taxonomy feature exists
+        for.  ``same_facets`` restricts candidates to items matching the
+        query item's facet values (late-funnel tightening).
+        """
+        k = self.view_lca_k if lca_k is None else lca_k
+        seeds = self.counts.top_co_viewed(item_index, self.co_neighbours)
+        if not seeds:
+            seeds = [item_index]
+        candidates: Set[int] = set()
+        for seed in seeds:
+            candidates.update(self.taxonomy.lca_k(seed, k))
+            if len(candidates) > self.max_candidates * 4:
+                break
+        candidates.discard(item_index)
+        if same_facets:
+            candidates = self._filter_facets(item_index, candidates, same_facets)
+        return self._cap(item_index, candidates)
+
+    # ------------------------------------------------------------------
+    # Purchase-based (complements, after the purchase decision)
+    # ------------------------------------------------------------------
+    def purchase_based(
+        self, item_index: int, lca_k: Optional[int] = None
+    ) -> List[int]:
+        """``C = union over j in cb(i) of lca_1(j) minus lca_1(i)``.
+
+        The subtraction removes substitutes of the just-bought item —
+        nobody wants a second phone right after buying one — *except* for
+        re-purchasable categories, where the same items are exactly right.
+        """
+        k = self.purchase_lca_k if lca_k is None else lca_k
+        seeds = self.counts.top_co_bought(item_index, self.co_neighbours)
+        if not seeds:
+            # No purchase signal: fall back to co-viewed complements.
+            seeds = self.counts.top_co_viewed(item_index, self.co_neighbours)
+        candidates: Set[int] = set()
+        for seed in seeds:
+            candidates.update(self.taxonomy.lca_k(seed, k))
+            if len(candidates) > self.max_candidates * 4:
+                break
+        candidates.discard(item_index)
+        category = (
+            self.taxonomy.category_of(item_index)
+            if self.taxonomy.has_item(item_index)
+            else None
+        )
+        repurchasable = (
+            self.repurchase is not None
+            and category is not None
+            and self.repurchase.is_repurchasable(category)
+        )
+        if not repurchasable:
+            substitutes = set(self.taxonomy.lca_k(item_index, self.purchase_lca_k))
+            candidates -= substitutes
+        return self._cap(item_index, candidates)
+
+    # ------------------------------------------------------------------
+    # Context-aware selection (funnel stage)
+    # ------------------------------------------------------------------
+    def for_context(self, context: UserContext) -> List[int]:
+        """Candidates for a live context, tightened for late-funnel users.
+
+        Early funnel: the normal view-based expansion around the most
+        recent item.  Late funnel (converged intent): candidates are
+        constrained "very close to the viewed item" — same category
+        (lca 1) and matching facets where the query item has them.
+        """
+        if len(context) == 0:
+            return []
+        query = context.most_recent_item
+        stage = classify_funnel(context, self.taxonomy)
+        if stage == "late":
+            return self.near_item(query)
+        return self.view_based(query)
+
+    def near_item(self, item_index: int) -> List[int]:
+        """Candidates "very close to the viewed item" (late funnel).
+
+        Same category (lca 1) around the *query item itself*, facet-
+        matched where the item carries facets; falls back to the plain
+        same-category set when the facet filter empties the pool.
+        """
+        candidates: Set[int] = set(self.taxonomy.lca_k(item_index, 1))
+        candidates.discard(item_index)
+        facets = [
+            name
+            for name, value in self.catalog[item_index].facets.items()
+            if value is not None
+        ]
+        if facets:
+            matched = self._filter_facets(item_index, candidates, facets)
+            if matched:
+                return self._cap(item_index, matched)
+        return self._cap(item_index, candidates)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _filter_facets(
+        self, item_index: int, candidates: Set[int], facets: Sequence[str]
+    ) -> Set[int]:
+        query = self.catalog[item_index]
+        kept = set()
+        for candidate in candidates:
+            other = self.catalog[candidate]
+            if all(
+                query.facets.get(facet) is not None
+                and other.facets.get(facet) == query.facets.get(facet)
+                for facet in facets
+            ):
+                kept.add(candidate)
+        return kept
+
+    def _cap(self, item_index: int, candidates: Set[int]) -> List[int]:
+        """Deterministic cap: strongest co-occurrence first, then by index."""
+        if len(candidates) <= self.max_candidates:
+            return sorted(candidates)
+        strength = self.counts.co_viewed(item_index)
+        ranked = sorted(
+            candidates, key=lambda c: (-strength.get(c, 0.0), c)
+        )
+        return sorted(ranked[: self.max_candidates])

@@ -1,0 +1,87 @@
+"""Config records — the unit of work flowing through Sigmund's pipelines.
+
+"The sweep step determines the overall set of models to train, and
+outputs a set of config records containing the model number, training and
+validation dataset locations, and the values assigned to each of the
+hyperparameters.  These config records form the input to the training
+step." (section IV-A)
+
+After training, an *output* config record adds the goodness metrics; the
+inference pipeline reads those to pick each retailer's best model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigError
+from repro.models.bpr import BPRHyperParams
+
+
+@dataclass(frozen=True)
+class ConfigRecord:
+    """One model to train: retailer, model number, hyper-parameters.
+
+    ``model_kind`` selects the learner: ``"bpr"`` (the paper's choice) or
+    ``"wals"`` (the least-squares alternative of section VI — "we can
+    easily substitute it").  WALS reuses the relevant BPR hyper-parameters
+    (factor count, item regularization, seed).
+    """
+
+    retailer_id: str
+    model_number: int
+    params: BPRHyperParams
+    #: Set on incremental-sweep records: initialize from yesterday's model.
+    warm_start: bool = False
+    #: Which daily run produced this record (0 = initial full sweep).
+    day: int = 0
+    model_kind: str = "bpr"
+
+    def __post_init__(self) -> None:
+        if self.model_number < 0:
+            raise ConfigError("model_number must be non-negative")
+        if not self.retailer_id:
+            raise ConfigError("retailer_id must be non-empty")
+        if self.model_kind not in ("bpr", "wals"):
+            raise ConfigError(f"unknown model_kind {self.model_kind!r}")
+
+    @property
+    def key(self) -> str:
+        """Globally unique id, e.g. ``retailer_0003/m17``."""
+        return f"{self.retailer_id}/m{self.model_number}"
+
+    def for_day(self, day: int, warm_start: bool) -> "ConfigRecord":
+        """The same configuration re-issued for a later daily run."""
+        return replace(self, day=day, warm_start=warm_start)
+
+
+@dataclass(frozen=True)
+class OutputConfigRecord:
+    """A config record after training: metrics attached (section IV-B).
+
+    ``map_at_10`` is the model-selection criterion; the full metric dict
+    keeps everything the evaluator computed for monitoring.
+    """
+
+    config: ConfigRecord
+    metrics: Dict[str, float] = field(default_factory=dict)
+    epochs_run: int = 0
+    sgd_steps: int = 0
+    train_seconds: float = 0.0
+
+    @property
+    def retailer_id(self) -> str:
+        return self.config.retailer_id
+
+    @property
+    def map_at_10(self) -> float:
+        return self.metrics.get("map@10", 0.0)
+
+    def better_than(self, other: Optional["OutputConfigRecord"]) -> bool:
+        """Model-selection ordering: higher MAP@10 wins; ties break stably."""
+        if other is None:
+            return True
+        if self.map_at_10 != other.map_at_10:
+            return self.map_at_10 > other.map_at_10
+        return self.config.model_number < other.config.model_number

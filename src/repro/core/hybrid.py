@@ -1,0 +1,108 @@
+"""The head/tail hybrid recommender (paper sections III-E, VII).
+
+"Empirically we found that the best way to combine the co-occurrence
+models along with factorization is to use the co-occurrence model for the
+popular items (for which we have more data) and augment the
+recommendations for the tail items from factorization."
+
+Mechanics: both models score the pool; co-occurrence votes (which only
+exist where pair data exists — i.e. the head) are z-normalized, given a
+confidence offset, and added on top of the normalized factorization
+scores.  Where co-occurrence has data its votes dominate the ranking;
+across the long tail it is silent and factorization decides alone.  The
+result matches co-occurrence on the head, lifts the tail, and covers the
+whole inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.cooccurrence.model import CoOccurrenceModel
+from repro.data.sessions import UserContext
+from repro.models.base import Recommender
+
+
+def _normalize(scores: np.ndarray) -> np.ndarray:
+    """Z-normalize so scores from different models become comparable."""
+    std = scores.std()
+    if std == 0:
+        return np.zeros_like(scores)
+    return (scores - scores.mean()) / std
+
+
+class HybridRecommender(Recommender):
+    """Co-occurrence votes layered over factorization scores."""
+
+    def __init__(
+        self,
+        factorization: Recommender,
+        cooccurrence: CoOccurrenceModel,
+        vote_weight: float = 1.5,
+        vote_offset: float = 1.0,
+        min_support: float = 2.0,
+    ):
+        if factorization.n_items != cooccurrence.n_items:
+            raise ValueError("hybrid components must share one catalog")
+        self.n_items = factorization.n_items
+        self.factorization = factorization
+        self.cooccurrence = cooccurrence
+        #: How strongly co-occurrence votes dominate where they exist.
+        self.vote_weight = vote_weight
+        #: Offset added to normalized votes so even an average vote beats
+        #: a vote-less item — co-occurrence decides wherever it has data.
+        self.vote_offset = vote_offset
+        #: Pair count required before an item is *attributed* to the
+        #: co-occurrence component (see :meth:`source_of`).
+        self.min_support = min_support
+
+    def score_items(
+        self, context: UserContext, item_indices: Sequence[int]
+    ) -> np.ndarray:
+        items = np.asarray(list(item_indices), dtype=np.int64)
+        mf_scores = _normalize(
+            np.asarray(
+                self.factorization.score_items(context, items), dtype=np.float64
+            )
+        )
+        votes = self.cooccurrence.context_scores(context)
+        if not votes:
+            return mf_scores
+        values = np.array(sorted(votes.values()))
+        std = values.std() or 1.0
+        mean = values.mean()
+        boost = np.zeros_like(mf_scores)
+        for position, item in enumerate(items):
+            vote = votes.get(int(item))
+            if vote is not None:
+                boost[position] = (vote - mean) / std + self.vote_offset
+        return mf_scores + self.vote_weight * boost
+
+    def _supported_votes(self, context: UserContext) -> Dict[int, float]:
+        """Co-occurrence votes whose strongest pair clears ``min_support``."""
+        votes = self.cooccurrence.context_scores(context)
+        supported: Dict[int, float] = {}
+        for item, score in votes.items():
+            support = 0.0
+            for source in context.item_indices:
+                support = max(
+                    support,
+                    self.cooccurrence.counts.co_viewed(source).get(item, 0.0),
+                )
+            if support >= self.min_support:
+                supported[item] = score
+        return supported
+
+    def source_of(self, context: UserContext, item_index: int) -> str:
+        """Which component is responsible for recommending this item.
+
+        "cooccurrence" when the item carries well-supported votes for this
+        context (the head regime), "factorization" otherwise (the tail).
+        """
+        return (
+            "cooccurrence"
+            if int(item_index) in self._supported_votes(context)
+            else "factorization"
+        )

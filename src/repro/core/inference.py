@@ -1,0 +1,289 @@
+"""The offline inference pipeline (paper section IV-C).
+
+For each retailer the pipeline takes the best model from the registry,
+walks every item in the inventory, selects candidates (section III-D1),
+scores them, and materializes the top-N view-based (substitutes) and
+purchase-based (complements) recommendations per item.
+
+Systems properties reproduced:
+
+* the input is the union of all retailers' items, **organized so one
+  retailer's records are contiguous** — the mapper reloads a model only
+  at retailer boundaries (model loads are counted and reported),
+* retailers are partitioned across map workers by **greedy first-fit bin
+  packing weighted by inventory size** (cost is linear in items thanks to
+  candidate capping),
+* work is split across cells by free capacity, like training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cell import Cluster
+from repro.cluster.cost import CostLedger, ResourcePricing
+from repro.cluster.machine import Priority, VMRequest
+from repro.cluster.preemption import PreemptionModel
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.core.binpack import first_fit_decreasing
+from repro.core.candidates import CandidateSelector, RepurchaseDetector
+from repro.core.registry import ModelRegistry
+from repro.data.datasets import RetailerDataset
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.exceptions import ModelNotTrainedError
+from repro.mapreduce.runtime import JobStats, MapReduceJob, MapReduceRuntime
+from repro.mapreduce.splits import InputSplit
+from repro.models.base import Recommender, ScoredItem
+
+#: Top-N recommendations materialized per item per surface.
+DEFAULT_TOP_N = 10
+
+
+@dataclass
+class InferenceResult:
+    """Materialized recommendations for one retailer."""
+
+    retailer_id: str
+    model_number: int
+    view_recs: Dict[int, List[ScoredItem]] = field(default_factory=dict)
+    purchase_recs: Dict[int, List[ScoredItem]] = field(default_factory=dict)
+
+    @property
+    def items_covered(self) -> int:
+        """Items with at least one view-based recommendation."""
+        return sum(1 for recs in self.view_recs.values() if recs)
+
+    def coverage(self, n_items: int) -> float:
+        return self.items_covered / n_items if n_items else 0.0
+
+
+@dataclass
+class InferenceStats:
+    """Execution statistics across all cells for one inference run."""
+
+    items_processed: int = 0
+    model_loads: int = 0
+    total_cost: float = 0.0
+    makespan_seconds: float = 0.0
+    preemptions: int = 0
+    per_cell: Dict[str, JobStats] = field(default_factory=dict)
+
+
+class InferencePipeline:
+    """Materializes item-item recommendations for every retailer daily."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        registry: ModelRegistry,
+        top_n: int = DEFAULT_TOP_N,
+        pricing: ResourcePricing = ResourcePricing(),
+        preemption_model: PreemptionModel = PreemptionModel(),
+        ledger: Optional[CostLedger] = None,
+        per_candidate_seconds: float = 2e-5,
+        model_load_seconds: float = 5.0,
+        workers_per_cell: int = 8,
+        seed: int = 0,
+    ):
+        self.cluster = cluster
+        self.registry = registry
+        self.top_n = top_n
+        self.ledger = ledger or CostLedger(pricing)
+        self.runtime = MapReduceRuntime(
+            pricing=pricing,
+            preemption_model=preemption_model,
+            ledger=self.ledger,
+            seed=seed,
+        )
+        self.per_candidate_seconds = per_candidate_seconds
+        self.model_load_seconds = model_load_seconds
+        self.workers_per_cell = workers_per_cell
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, datasets: Dict[str, RetailerDataset], day: int = 0
+    ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
+        """Run inference for every retailer with a trained model."""
+        stats = InferenceStats()
+        ready = {
+            retailer_id: dataset
+            for retailer_id, dataset in datasets.items()
+            if self.registry.has_models(retailer_id)
+        }
+        if not ready:
+            return {}, stats
+
+        # Split retailers across cells proportionally to free capacity,
+        # then bin-pack within each cell.
+        weights = {rid: float(ds.n_items) for rid, ds in ready.items()}
+        cell_shares = self.cluster.split_by_capacity(len(ready))
+        cells = [name for name, share in cell_shares.items() if share > 0]
+        cell_bins = first_fit_decreasing(weights, max(1, len(cells)))
+
+        results: Dict[str, InferenceResult] = {}
+        for cell_name, retailer_group in zip(cells, cell_bins):
+            if not retailer_group:
+                continue
+            group = {rid: ready[rid] for rid in retailer_group}
+            cell_results, job_stats, loads = self._run_cell_job(
+                cell_name, group, day
+            )
+            results.update(cell_results)
+            stats.per_cell[cell_name] = job_stats
+            stats.total_cost += job_stats.cost
+            stats.preemptions += job_stats.preemptions
+            stats.model_loads += loads
+            stats.makespan_seconds = max(
+                stats.makespan_seconds, job_stats.makespan_seconds
+            )
+        stats.items_processed = sum(
+            len(result.view_recs) for result in results.values()
+        )
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # Per-cell job
+    # ------------------------------------------------------------------
+    def _run_cell_job(
+        self,
+        cell_name: str,
+        datasets: Dict[str, RetailerDataset],
+        day: int,
+    ) -> Tuple[Dict[str, InferenceResult], JobStats, int]:
+        selectors = {
+            rid: self._build_selector(dataset) for rid, dataset in datasets.items()
+        }
+        models: Dict[str, Tuple[int, Recommender]] = {}
+        for rid in datasets:
+            best = self.registry.best(rid)
+            if best.model.n_items < datasets[rid].n_items:
+                raise ModelNotTrainedError(
+                    f"best model for {rid!r} covers {best.model.n_items} items "
+                    f"but the catalog has {datasets[rid].n_items}; retrain "
+                    f"before running inference on the new catalog"
+                )
+            models[rid] = (best.model_number, best.model)
+
+        # The mapper keeps "the model for the current retailer in memory";
+        # a load is counted whenever consecutive records change retailer.
+        loader_state = {"current": None, "loads": 0}
+
+        def mapper(record: object):
+            retailer_id, item_index = record  # type: ignore[misc]
+            if loader_state["current"] != retailer_id:
+                loader_state["current"] = retailer_id
+                loader_state["loads"] += 1
+            model_number, model = models[retailer_id]
+            selector = selectors[retailer_id]
+            view = self._rank(
+                model,
+                UserContext((item_index,), (EventType.VIEW,)),
+                selector.view_based(item_index),
+            )
+            purchase = self._rank(
+                model,
+                UserContext((item_index,), (EventType.CONVERSION,)),
+                selector.purchase_based(item_index),
+            )
+            yield retailer_id, (item_index, model_number, view, purchase)
+
+        def reducer(key: object, values: List[object]):
+            result = InferenceResult(retailer_id=str(key), model_number=-1)
+            for item_index, model_number, view, purchase in values:
+                result.model_number = model_number
+                result.view_recs[item_index] = view
+                result.purchase_recs[item_index] = purchase
+            yield result
+
+        def record_cost(record: object) -> float:
+            retailer_id, _ = record  # type: ignore[misc]
+            dataset = datasets[retailer_id]
+            candidates = min(dataset.n_items, selectors[retailer_id].max_candidates)
+            return candidates * self.per_candidate_seconds
+
+        records = [
+            (rid, item)
+            for rid in sorted(datasets)
+            for item in range(datasets[rid].n_items)
+        ]
+        n_workers = min(self.workers_per_cell, max(1, len(datasets)))
+        splits = self._binpacked_splits(records, datasets, n_workers)
+        job = MapReduceJob(
+            name=f"inference/day{day}/{cell_name}",
+            mapper=mapper,
+            reducer=reducer,
+            n_workers=n_workers,
+            vm_request=VMRequest(cpus=4, memory_gb=16.0, priority=Priority.PREEMPTIBLE),
+            record_cost_fn=record_cost,
+            task_startup_seconds=self.model_load_seconds,
+        )
+        outputs, job_stats = self.runtime.run(job, splits)
+        results = {
+            result.retailer_id: result
+            for result in outputs
+            if isinstance(result, InferenceResult)
+        }
+        # Charge-back attribution (section V): split the job bill across
+        # retailers in proportion to their inference work (≈ item count
+        # times capped candidates).
+        work = {
+            rid: dataset.n_items
+            * min(dataset.n_items, selectors[rid].max_candidates)
+            for rid, dataset in datasets.items()
+        }
+        total_work = sum(work.values())
+        if total_work > 0 and job_stats.cost > 0:
+            for rid, units in work.items():
+                self.ledger.attribute(
+                    f"chargeback/{rid}", job_stats.cost * units / total_work
+                )
+        return results, job_stats, loader_state["loads"]
+
+    def _binpacked_splits(
+        self,
+        records: List[Tuple[str, int]],
+        datasets: Dict[str, RetailerDataset],
+        n_workers: int,
+    ) -> List[InputSplit]:
+        """One split per bin; retailers stay contiguous inside each split."""
+        weights = {rid: float(ds.n_items) for rid, ds in datasets.items()}
+        bins = first_fit_decreasing(weights, n_workers)
+        by_retailer: Dict[str, List[Tuple[str, int]]] = {}
+        for record in records:
+            by_retailer.setdefault(record[0], []).append(record)
+        splits = []
+        for split_id, group in enumerate(bins):
+            chunk: List[Tuple[str, int]] = []
+            for rid in group:
+                chunk.extend(by_retailer.get(rid, []))
+            splits.append(InputSplit(split_id, chunk))
+        return [split for split in splits if split.records] or [InputSplit(0, [])]
+
+    def _build_selector(self, dataset: RetailerDataset) -> CandidateSelector:
+        counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
+        detector = RepurchaseDetector(dataset.taxonomy, dataset.train)
+        return CandidateSelector(
+            taxonomy=dataset.taxonomy,
+            counts=counts,
+            catalog=dataset.catalog,
+            repurchase=detector,
+        )
+
+    def _rank(
+        self,
+        model: Recommender,
+        context: UserContext,
+        candidates: Sequence[int],
+    ) -> List[ScoredItem]:
+        if not candidates:
+            return []
+        return model.recommend(
+            context,
+            k=self.top_n,
+            candidates=candidates,
+            exclude_context_items=True,
+        )

@@ -1,0 +1,90 @@
+"""Quality monitoring across thousands of retailers.
+
+A self-serve service cannot be babysat per retailer (section I: "design
+away any manual per-retailer configuration"); instead, per-retailer
+MAP@10 is recorded every day and regressions beyond a threshold raise
+alerts for the (two-engineer) team.  The monitor also surfaces fleet-wide
+aggregates for dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Relative MAP drop that fires an alert.
+DEFAULT_REGRESSION_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One quality regression worth a human look."""
+
+    retailer_id: str
+    day: int
+    metric: str
+    previous: float
+    current: float
+
+    @property
+    def drop_fraction(self) -> float:
+        if self.previous == 0:
+            return 0.0
+        return (self.previous - self.current) / self.previous
+
+
+class QualityMonitor:
+    """Tracks per-retailer daily metrics and raises regression alerts."""
+
+    def __init__(self, regression_threshold: float = DEFAULT_REGRESSION_THRESHOLD):
+        if not 0.0 < regression_threshold <= 1.0:
+            raise ValueError("regression_threshold must be in (0, 1]")
+        self.regression_threshold = regression_threshold
+        self._history: Dict[str, Dict[int, float]] = {}
+        self.alerts: List[Alert] = []
+
+    def record(self, retailer_id: str, day: int, map_at_10: float) -> Optional[Alert]:
+        """Record today's metric; returns an alert if it regressed badly."""
+        history = self._history.setdefault(retailer_id, {})
+        previous_day = max((d for d in history if d < day), default=None)
+        history[day] = map_at_10
+        if previous_day is None:
+            return None
+        previous = history[previous_day]
+        if previous <= 0:
+            return None
+        drop = (previous - map_at_10) / previous
+        if drop >= self.regression_threshold:
+            alert = Alert(
+                retailer_id=retailer_id,
+                day=day,
+                metric="map@10",
+                previous=previous,
+                current=map_at_10,
+            )
+            self.alerts.append(alert)
+            return alert
+        return None
+
+    def metric_history(self, retailer_id: str) -> Dict[int, float]:
+        return dict(self._history.get(retailer_id, {}))
+
+    def fleet_summary(self, day: int) -> Dict[str, float]:
+        """Aggregate MAP stats over every retailer with a value for ``day``."""
+        values = [
+            history[day] for history in self._history.values() if day in history
+        ]
+        if not values:
+            return {"retailers": 0.0, "mean_map": 0.0, "p10_map": 0.0, "p90_map": 0.0}
+        arr = np.asarray(values)
+        return {
+            "retailers": float(arr.size),
+            "mean_map": float(arr.mean()),
+            "p10_map": float(np.percentile(arr, 10)),
+            "p90_map": float(np.percentile(arr, 90)),
+        }
+
+    def alerts_for_day(self, day: int) -> List[Alert]:
+        return [alert for alert in self.alerts if alert.day == day]

@@ -1,0 +1,240 @@
+"""The Sigmund service: onboarding, daily runs, periodic full restarts.
+
+This ties every subsystem together into the loop the paper describes:
+
+1. retailers sign up (their datasets enter the fleet),
+2. every day: plan a sweep (full on day 0 or on the periodic restart,
+   incremental otherwise), train on pre-emptible capacity, publish to the
+   registry, run offline inference, and batch-load the serving stores,
+3. record quality metrics and raise regression alerts,
+4. every ``full_restart_every`` days, discard history and re-run the full
+   grid — the terms-of-service constraint that models reflect only recent
+   history, which also re-finds hyper-parameters after data drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cell import Cluster
+from repro.cluster.cost import CostLedger, ResourcePricing
+from repro.cluster.preemption import PreemptionModel
+from repro.core.candidates import RepurchaseDetector
+from repro.core.grid import GridSpec
+from repro.core.inference import InferencePipeline, InferenceStats
+from repro.core.monitoring import QualityMonitor
+from repro.core.registry import ModelRegistry
+from repro.core.sweep import SweepPlanner
+from repro.core.training import PipelineStats, TrainerSettings, TrainingPipeline
+from repro.data.datasets import RetailerDataset
+from repro.exceptions import DataError
+from repro.serving.server import RecommendationServer
+from repro.serving.store import RecommendationStore
+
+#: Paper: "periodically we restart the full model selection".
+DEFAULT_FULL_RESTART_EVERY = 30
+
+
+@dataclass
+class DailyRunReport:
+    """Everything one daily run did, for logs and benchmarks."""
+
+    day: int
+    sweep_kind: str = "incremental"
+    configs_trained: int = 0
+    retailers_served: int = 0
+    training_cost: float = 0.0
+    inference_cost: float = 0.0
+    training_makespan: float = 0.0
+    inference_makespan: float = 0.0
+    preemptions: int = 0
+    alerts: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        return self.training_cost + self.inference_cost
+
+
+class SigmundService:
+    """Recommendations-as-a-service for a fleet of retailers."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        grid: GridSpec = GridSpec.small(),
+        settings: TrainerSettings = TrainerSettings(),
+        pricing: ResourcePricing = ResourcePricing(),
+        preemption_model: PreemptionModel = PreemptionModel(),
+        top_k_incremental: int = 3,
+        full_restart_every: int = DEFAULT_FULL_RESTART_EVERY,
+        seed: int = 0,
+    ):
+        self.cluster = cluster
+        self.registry = ModelRegistry()
+        self.monitor = QualityMonitor()
+        self.ledger = CostLedger(pricing)
+        self.planner = SweepPlanner(grid, top_k=top_k_incremental, base_seed=seed)
+        self.training = TrainingPipeline(
+            cluster,
+            self.registry,
+            settings=settings,
+            pricing=pricing,
+            preemption_model=preemption_model,
+            ledger=self.ledger,
+            seed=seed,
+        )
+        self.inference = InferencePipeline(
+            cluster,
+            self.registry,
+            pricing=pricing,
+            preemption_model=preemption_model,
+            ledger=self.ledger,
+            seed=seed + 1,
+        )
+        self.substitutes_store = RecommendationStore()
+        self.accessories_store = RecommendationStore()
+        self.substitutes_server = RecommendationServer(self.substitutes_store)
+        self.accessories_server = RecommendationServer(self.accessories_store)
+        self.full_restart_every = full_restart_every
+        self._datasets: Dict[str, RetailerDataset] = {}
+        self._repurchase: Dict[str, RepurchaseDetector] = {}
+        self._next_day = 0
+        self.reports: List[DailyRunReport] = []
+
+    # ------------------------------------------------------------------
+    # Fleet management
+    # ------------------------------------------------------------------
+    def onboard(self, dataset: RetailerDataset) -> None:
+        """Sign a retailer up; first training happens on the next run."""
+        if dataset.retailer_id in self._datasets:
+            raise DataError(f"retailer {dataset.retailer_id!r} already onboarded")
+        self._datasets[dataset.retailer_id] = dataset
+
+    def update_dataset(self, dataset: RetailerDataset) -> None:
+        """Replace a retailer's data (new day's interactions arrived)."""
+        if dataset.retailer_id not in self._datasets:
+            raise DataError(f"retailer {dataset.retailer_id!r} not onboarded")
+        self._datasets[dataset.retailer_id] = dataset
+
+    def offboard(self, retailer_id: str) -> None:
+        """Remove a retailer and every artifact derived from its data."""
+        self._datasets.pop(retailer_id, None)
+        self.registry.drop_retailer(retailer_id)
+
+    @property
+    def retailers(self) -> List[str]:
+        return sorted(self._datasets)
+
+    # ------------------------------------------------------------------
+    # The daily loop
+    # ------------------------------------------------------------------
+    def run_day(self, force_full_sweep: bool = False) -> DailyRunReport:
+        """One full daily cycle: sweep -> train -> infer -> serve -> monitor."""
+        day = self._next_day
+        self._next_day += 1
+        datasets = list(self._datasets.values())
+        report = DailyRunReport(day=day)
+        if not datasets:
+            self.reports.append(report)
+            return report
+
+        full = (
+            force_full_sweep
+            or day == 0
+            or (self.full_restart_every > 0 and day % self.full_restart_every == 0)
+        )
+        if full:
+            plan = self.planner.full_sweep(datasets, day=day)
+            report.sweep_kind = "full"
+        else:
+            plan = self.planner.incremental_sweep(datasets, self.registry, day=day)
+            report.sweep_kind = "incremental"
+
+        outputs, train_stats = self.training.run(
+            plan.configs, self._datasets, day=day
+        )
+        report.configs_trained = train_stats.configs_trained
+        report.training_cost = train_stats.total_cost
+        report.training_makespan = train_stats.makespan_seconds
+        report.preemptions += train_stats.preemptions
+
+        results, infer_stats = self.inference.run(self._datasets, day=day)
+        report.inference_cost = infer_stats.total_cost
+        report.inference_makespan = infer_stats.makespan_seconds
+        report.preemptions += infer_stats.preemptions
+
+        for retailer_id, result in results.items():
+            self.substitutes_store.load_batch(
+                retailer_id, result.view_recs, version=day + 1
+            )
+            self.accessories_store.load_batch(
+                retailer_id, result.purchase_recs, version=day + 1
+            )
+        report.retailers_served = len(results)
+
+        # Refresh the re-purchase surface (section III-D1): detectors are
+        # rebuilt daily from the latest training data.
+        for retailer_id, dataset in self._datasets.items():
+            self._repurchase[retailer_id] = RepurchaseDetector(
+                dataset.taxonomy, dataset.train
+            )
+
+        for retailer_id in self._datasets:
+            if self.registry.has_models(retailer_id):
+                best = self.registry.best(retailer_id)
+                alert = self.monitor.record(retailer_id, day, best.map_at_10)
+                if alert is not None:
+                    report.alerts += 1
+
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def best_map(self, retailer_id: str) -> float:
+        return self.registry.best(retailer_id).map_at_10
+
+    def total_cost(self) -> float:
+        """Total billed compute (job accounts only, not attribution views)."""
+        return sum(
+            amount
+            for account, amount in self.ledger.accounts().items()
+            if not account.startswith("chargeback/")
+        )
+
+    def repurchase_recommendations(
+        self, retailer_id: str, user_id: int, now: Optional[float] = None
+    ) -> List[int]:
+        """Items this user is due to buy again (periodic surface, §III-D1).
+
+        Requires at least one completed daily run (detectors are rebuilt
+        per day).  ``now`` defaults to just past the user's last event.
+        """
+        detector = self._repurchase.get(retailer_id)
+        dataset = self._datasets.get(retailer_id)
+        if detector is None or dataset is None:
+            raise DataError(
+                f"no re-purchase surface for {retailer_id!r}; run a day first"
+            )
+        history = dataset.train_histories().get(user_id, [])
+        if not history:
+            return []
+        if now is None:
+            now = history[-1].timestamp + 1.0
+        return detector.due_for_repurchase(history, now)
+
+    def retailer_costs(self) -> Dict[str, float]:
+        """Per-retailer charge-back attribution of all compute so far.
+
+        Sigmund deliberately does not *bill* retailers (section V), but
+        the attribution answers capacity-planning questions; the values
+        sum to :meth:`total_cost` up to estimation error.
+        """
+        return {
+            account.split("/", 1)[1]: amount
+            for account, amount in self.ledger.accounts_with_prefix(
+                "chargeback/"
+            ).items()
+        }

@@ -1,0 +1,113 @@
+"""Sweep planning: full sweeps and incremental sweeps (paper section IV-A).
+
+* A **full sweep** "kicks off training for every combination of
+  hyper-parameters for every retailer" — needed when the service starts
+  or after catastrophic model loss, and periodically to honor the
+  terms-of-service constraint that models reflect only recent history.
+* An **incremental sweep** trains only the top-K best-performing
+  configurations per retailer (typically 3), warm-started from
+  yesterday's parameters.  A *new* retailer inside an incremental sweep
+  still gets its full grid.
+
+The planner emits the config records in a **random permutation** — the
+paper's load-balancing trick (section IV-B1): expensive (large-retailer)
+records end up spread across MapReduce workers instead of clumping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.config import ConfigRecord
+from repro.core.grid import GridSpec, generate_configs
+from repro.core.registry import ModelRegistry
+from repro.data.datasets import RetailerDataset
+from repro.rng import SeedLike, derive_seed, make_rng
+
+#: Paper: incremental sweeps keep "the top-K most promising models
+#: (usually 3-5) from the previous day".
+DEFAULT_TOP_K = 3
+
+
+@dataclass
+class SweepPlan:
+    """The output of planning: permuted config records plus bookkeeping."""
+
+    day: int
+    configs: List[ConfigRecord] = field(default_factory=list)
+    full_grid_retailers: List[str] = field(default_factory=list)
+    incremental_retailers: List[str] = field(default_factory=list)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    def configs_for(self, retailer_id: str) -> List[ConfigRecord]:
+        return [c for c in self.configs if c.retailer_id == retailer_id]
+
+
+class SweepPlanner:
+    """Plans which models to train today for every retailer."""
+
+    def __init__(
+        self,
+        grid: GridSpec = GridSpec(),
+        top_k: int = DEFAULT_TOP_K,
+        base_seed: int = 0,
+    ):
+        self.grid = grid
+        self.top_k = max(1, top_k)
+        self.base_seed = base_seed
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def full_sweep(
+        self, datasets: Sequence[RetailerDataset], day: int = 0
+    ) -> SweepPlan:
+        """Every hyper-parameter combination for every retailer."""
+        plan = SweepPlan(day=day)
+        for dataset in datasets:
+            configs = generate_configs(
+                dataset, self.grid, day=day, base_seed=self.base_seed
+            )
+            plan.configs.extend(configs)
+            plan.full_grid_retailers.append(dataset.retailer_id)
+        self._permute(plan)
+        return plan
+
+    def incremental_sweep(
+        self,
+        datasets: Sequence[RetailerDataset],
+        registry: ModelRegistry,
+        day: int,
+    ) -> SweepPlan:
+        """Top-K warm-started configs per known retailer; full grid for new."""
+        plan = SweepPlan(day=day)
+        for dataset in datasets:
+            retailer_id = dataset.retailer_id
+            if registry.has_models(retailer_id):
+                top = registry.top_k(retailer_id, k=self.top_k)
+                for entry in top:
+                    plan.configs.append(
+                        entry.output.config.for_day(day, warm_start=True)
+                    )
+                plan.incremental_retailers.append(retailer_id)
+            else:
+                configs = generate_configs(
+                    dataset, self.grid, day=day, base_seed=self.base_seed
+                )
+                plan.configs.extend(configs)
+                plan.full_grid_retailers.append(retailer_id)
+        self._permute(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _permute(self, plan: SweepPlan) -> None:
+        """Randomly permute config records (deterministic per day)."""
+        rng = make_rng(derive_seed(self.base_seed, "sweep", plan.day))
+        order = rng.permutation(len(plan.configs))
+        plan.configs = [plan.configs[int(i)] for i in order]

@@ -1,0 +1,50 @@
+"""Synthetic multi-retailer data substrate.
+
+The paper trains on proprietary retailer logs (views, searches, carts and
+conversions) plus catalog metadata.  This package provides the faithful
+synthetic replacement: product taxonomies with LCA distances, catalogs with
+brand/price attributes, implicit-feedback event streams with the paper's
+strength ordering, heterogeneous retailer generation, session/context
+construction, and the leave-last-out holdout split.
+"""
+
+from repro.data.catalog import Catalog, Item
+from repro.data.datasets import RetailerDataset, dataset_from_synthetic
+from repro.data.events import EVENT_STRENGTH_ORDER, EventType, Interaction
+from repro.data.evolution import EvolutionSpec, evolve_for_days, evolve_retailer
+from repro.data.generator import (
+    MarketplaceSpec,
+    RetailerSpec,
+    SyntheticRetailer,
+    generate_marketplace,
+    generate_retailer,
+)
+from repro.data.sessions import UserContext, build_user_histories, context_windows
+from repro.data.split import HoldoutExample, TrainTestSplit, leave_last_out_split
+from repro.data.taxonomy import Taxonomy, random_taxonomy
+
+__all__ = [
+    "Catalog",
+    "Item",
+    "RetailerDataset",
+    "dataset_from_synthetic",
+    "EventType",
+    "EVENT_STRENGTH_ORDER",
+    "Interaction",
+    "EvolutionSpec",
+    "evolve_retailer",
+    "evolve_for_days",
+    "RetailerSpec",
+    "MarketplaceSpec",
+    "SyntheticRetailer",
+    "generate_retailer",
+    "generate_marketplace",
+    "UserContext",
+    "build_user_histories",
+    "context_windows",
+    "HoldoutExample",
+    "TrainTestSplit",
+    "leave_last_out_split",
+    "Taxonomy",
+    "random_taxonomy",
+]

@@ -1,0 +1,99 @@
+"""The per-retailer dataset bundle consumed by training and evaluation.
+
+A :class:`RetailerDataset` packages everything one Sigmund model instance
+needs: the catalog, the taxonomy, the training interactions, and the
+leave-last-out holdout.  It is the unit of privacy isolation — nothing in
+it refers to any other retailer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.data.catalog import Catalog
+from repro.data.events import EventType, Interaction, count_by_event
+from repro.data.generator import SyntheticRetailer
+from repro.data.sessions import DEFAULT_MAX_CONTEXT, build_user_histories
+from repro.data.split import HoldoutExample, TrainTestSplit, leave_last_out_split
+from repro.data.taxonomy import Taxonomy
+
+
+@dataclass
+class RetailerDataset:
+    """Training-ready data for exactly one retailer."""
+
+    retailer_id: str
+    catalog: Catalog
+    taxonomy: Taxonomy
+    train: List[Interaction]
+    holdout: List[HoldoutExample]
+    max_context: int = DEFAULT_MAX_CONTEXT
+    #: Kept when built from a synthetic retailer so experiments can query
+    #: ground truth; ``None`` for real/externally loaded data.
+    source: Optional[SyntheticRetailer] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.catalog.retailer_id != self.retailer_id:
+            raise ValueError(
+                f"catalog belongs to {self.catalog.retailer_id!r}, "
+                f"dataset claims {self.retailer_id!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Sizes & summaries
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        return len(self.catalog)
+
+    @property
+    def n_users(self) -> int:
+        return len({interaction.user_id for interaction in self.train})
+
+    @property
+    def n_train_interactions(self) -> int:
+        return len(self.train)
+
+    def event_counts(self) -> Dict[EventType, int]:
+        return count_by_event(self.train)
+
+    def train_histories(self) -> Dict[int, List[Interaction]]:
+        """Per-user time-ordered training histories."""
+        return build_user_histories(self.train)
+
+    def interacted_items(self) -> List[int]:
+        """Distinct item indices seen in training, ascending."""
+        return sorted({interaction.item_index for interaction in self.train})
+
+    def describe(self) -> Dict[str, object]:
+        """A human-readable summary used by monitoring and examples."""
+        counts = self.event_counts()
+        return {
+            "retailer_id": self.retailer_id,
+            "items": self.n_items,
+            "users": self.n_users,
+            "train_interactions": self.n_train_interactions,
+            "holdout_examples": len(self.holdout),
+            "brand_coverage": round(self.catalog.brand_coverage(), 3),
+            "price_coverage": round(self.catalog.price_coverage(), 3),
+            "events": {str(event): count for event, count in counts.items()},
+        }
+
+
+def dataset_from_synthetic(
+    retailer: SyntheticRetailer, max_context: int = DEFAULT_MAX_CONTEXT
+) -> RetailerDataset:
+    """Split a synthetic retailer's log and wrap it as a dataset."""
+    split: TrainTestSplit = leave_last_out_split(
+        retailer.interactions, max_context=max_context
+    )
+    return RetailerDataset(
+        retailer_id=retailer.retailer_id,
+        catalog=retailer.catalog,
+        taxonomy=retailer.taxonomy,
+        train=split.train,
+        holdout=split.holdout,
+        max_context=max_context,
+        source=retailer,
+    )

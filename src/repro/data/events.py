@@ -1,0 +1,79 @@
+"""Implicit-feedback events with the paper's strength ordering.
+
+Sigmund receives no explicit ratings.  Interactions come in four types of
+increasing strength: ``view < search < cart < conversion`` (paper section
+III-A).  The ordering drives both training-example construction (an item
+searched should rank above an item merely viewed) and the event funnel in
+the synthetic generator (conversions are orders of magnitude rarer than
+views).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+class EventType(enum.IntEnum):
+    """User interaction types, ordered by strength (weakest first)."""
+
+    VIEW = 0
+    SEARCH = 1
+    CART = 2
+    CONVERSION = 3
+
+    @property
+    def strength(self) -> int:
+        """Numeric strength; larger means stronger intent."""
+        return int(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+#: All event types from weakest to strongest, as the paper lists them.
+EVENT_STRENGTH_ORDER: tuple[EventType, ...] = (
+    EventType.VIEW,
+    EventType.SEARCH,
+    EventType.CART,
+    EventType.CONVERSION,
+)
+
+
+@dataclass(frozen=True, order=True)
+class Interaction:
+    """One (user, item, event, time) record in a retailer's log.
+
+    Ordering is by timestamp first so that sorting a log recovers each
+    user's session order.
+    """
+
+    timestamp: float
+    user_id: int
+    item_index: int
+    event: EventType
+
+    def stronger_than(self, other: "Interaction") -> bool:
+        """Whether this interaction signals strictly more intent."""
+        return self.event.strength > other.event.strength
+
+
+def sort_log(interactions: Iterable[Interaction]) -> List[Interaction]:
+    """Return interactions sorted by time (stable for equal timestamps)."""
+    return sorted(interactions, key=lambda it: (it.timestamp, it.user_id))
+
+
+def filter_by_event(
+    interactions: Sequence[Interaction], minimum: EventType
+) -> List[Interaction]:
+    """Keep only interactions at least as strong as ``minimum``."""
+    return [it for it in interactions if it.event.strength >= minimum.strength]
+
+
+def count_by_event(interactions: Iterable[Interaction]) -> dict[EventType, int]:
+    """Histogram of interaction counts per event type."""
+    counts = {event: 0 for event in EVENT_STRENGTH_ORDER}
+    for interaction in interactions:
+        counts[interaction.event] += 1
+    return counts

@@ -1,0 +1,279 @@
+"""Day-over-day retailer evolution (paper sections I, III-C3).
+
+Sigmund is "a continuous service — new data arrives every day, new
+products are introduced, and new users start shopping", and daily
+retraining exists because "retailers add new items to the catalog, modify
+the sale prices on items ... for best results we needed to refresh our
+models on a daily basis".
+
+:func:`evolve_retailer` produces the next day of a synthetic retailer:
+
+* **catalog churn** — a fraction of new items appears (appended, so item
+  indices stay stable — the invariant warm starts rely on), each with
+  ground-truth vectors drawn from its category,
+* **price drift** — a fraction of items get new prices,
+* **new users** join, existing users return,
+* **a fresh day of interactions** is simulated over the grown catalog,
+  with interest drift nudging user vectors.
+
+The result is a full :class:`SyntheticRetailer` whose day-N state is a
+strict extension of day-N-1, enabling incremental-training and staleness
+experiments that mirror production dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.catalog import Catalog, Item, make_item_id
+from repro.data.generator import (
+    RetailerSpec,
+    SyntheticRetailer,
+    _build_companions,
+    _funnel_event,
+)
+from repro.data.events import Interaction
+from repro.data.taxonomy import Taxonomy
+from repro.exceptions import DataError
+from repro.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class EvolutionSpec:
+    """How much one day changes a retailer."""
+
+    #: New items per day, as a fraction of the current catalog.
+    new_item_rate: float = 0.03
+    #: Fraction of existing items whose price changes.
+    price_change_rate: float = 0.10
+    #: Multiplicative sigma of a price change (lognormal).
+    price_drift_sigma: float = 0.15
+    #: New users per day, as a fraction of the current user base.
+    new_user_rate: float = 0.05
+    #: Gaussian noise added to user vectors (interest drift).
+    interest_drift: float = 0.05
+    #: Events generated this day, as a fraction of the original volume.
+    daily_event_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("new_item_rate", "price_change_rate", "new_user_rate",
+                     "daily_event_fraction"):
+            if getattr(self, name) < 0:
+                raise DataError(f"{name} must be non-negative")
+
+
+def evolve_retailer(
+    retailer: SyntheticRetailer,
+    day: int,
+    evolution: EvolutionSpec = EvolutionSpec(),
+) -> SyntheticRetailer:
+    """The same retailer one day later.
+
+    Deterministic in ``(retailer.spec.seed, day)``.  The returned object
+    carries the *cumulative* interaction log (old days plus the new one)
+    so a leave-last-out split keeps working unchanged.
+    """
+    rng = make_rng(derive_seed(retailer.spec.seed, "evolve", day))
+    spec = retailer.spec
+
+    catalog, item_vectors, taxonomy, popularity = _grow_catalog(
+        retailer, evolution, rng
+    )
+    user_vectors, user_brand, price_sens = _grow_users(retailer, evolution, rng)
+    companions = _build_companions(
+        replace(spec, n_items=len(catalog)), taxonomy, popularity, rng
+    )
+
+    evolved = SyntheticRetailer(
+        spec=replace(spec, n_items=len(catalog), n_users=user_vectors.shape[0]),
+        catalog=catalog,
+        taxonomy=taxonomy,
+        interactions=list(retailer.interactions),
+        true_item_vectors=item_vectors,
+        true_user_vectors=user_vectors,
+        user_brand_affinity=user_brand,
+        user_price_sensitivity=price_sens,
+        item_popularity=popularity,
+        companions=companions,
+    )
+    evolved.interactions.extend(_simulate_day(evolved, evolution, rng))
+    return evolved
+
+
+def evolve_for_days(
+    retailer: SyntheticRetailer,
+    days: int,
+    evolution: EvolutionSpec = EvolutionSpec(),
+) -> List[SyntheticRetailer]:
+    """States after each of ``days`` evolution steps (day 1, 2, ...)."""
+    states = []
+    current = retailer
+    for day in range(1, days + 1):
+        current = evolve_retailer(current, day, evolution)
+        states.append(current)
+    return states
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _grow_catalog(retailer, evolution, rng):
+    """Append new items; drift some prices; extend popularity weights."""
+    spec = retailer.spec
+    old_n = retailer.n_items
+    n_new = int(round(old_n * evolution.new_item_rate))
+    # Copy the tree: new items are assigned on the copy so yesterday's
+    # retailer snapshot stays frozen.
+    taxonomy = retailer.taxonomy.copy()
+    leaves = taxonomy.leaves()
+
+    items: List[Item] = []
+    changed_prices = set(
+        int(i)
+        for i in rng.choice(
+            old_n,
+            size=int(round(old_n * evolution.price_change_rate)),
+            replace=False,
+        )
+    ) if old_n else set()
+    for old in retailer.catalog:
+        price = old.price
+        if old.index in changed_prices and price is not None:
+            price = round(
+                price * float(np.exp(rng.normal(0.0, evolution.price_drift_sigma))),
+                2,
+            )
+        items.append(replace(old, price=price))
+
+    brands = retailer.catalog.brand_vocabulary()
+    dim = spec.latent_dim
+    new_vectors = []
+    category_mean: Dict[str, np.ndarray] = {}
+    for index in range(old_n, old_n + n_new):
+        leaf = leaves[int(rng.integers(len(leaves)))]
+        taxonomy.assign_item(index, leaf)
+        peers = [p for p in taxonomy.items_in(leaf) if p < old_n]
+        if leaf not in category_mean:
+            if peers:
+                category_mean[leaf] = retailer.true_item_vectors[peers].mean(axis=0)
+            else:
+                category_mean[leaf] = np.zeros(dim)
+        vector = category_mean[leaf] + rng.normal(0.0, 0.5, size=dim)
+        new_vectors.append(vector)
+        brand = (
+            brands[int(rng.integers(len(brands)))]
+            if brands and rng.random() < spec.brand_coverage
+            else None
+        )
+        price = (
+            round(float(np.exp(rng.normal(3.2, 1.0))), 2)
+            if rng.random() < spec.price_coverage
+            else None
+        )
+        items.append(
+            Item(
+                item_id=make_item_id(spec.retailer_id, index),
+                index=index,
+                category_id=leaf,
+                brand=brand,
+                price=price,
+                facets={"color": "black"},
+            )
+        )
+
+    catalog = Catalog(spec.retailer_id, items)
+    if new_vectors:
+        item_vectors = np.vstack([retailer.true_item_vectors, np.array(new_vectors)])
+    else:
+        item_vectors = retailer.true_item_vectors.copy()
+
+    # New items start with a modest popularity share (cold items).
+    old_popularity = retailer.item_popularity
+    if n_new:
+        floor = float(old_popularity.min()) if old_popularity.size else 1.0
+        new_weights = np.full(n_new, floor * 0.5)
+        popularity = np.concatenate([old_popularity, new_weights])
+        popularity = popularity / popularity.sum()
+    else:
+        popularity = old_popularity.copy()
+    return catalog, item_vectors, taxonomy, popularity
+
+
+def _grow_users(retailer, evolution, rng):
+    """Add new users and drift existing interests slightly."""
+    spec = retailer.spec
+    old_users = retailer.true_user_vectors
+    drifted = old_users + rng.normal(
+        0.0, evolution.interest_drift, size=old_users.shape
+    )
+    n_new = int(round(old_users.shape[0] * evolution.new_user_rate))
+    brands = retailer.catalog.brand_vocabulary()
+    user_brand = dict(retailer.user_brand_affinity)
+    if n_new:
+        # New users clone the interest distribution of existing ones.
+        prototypes = rng.integers(old_users.shape[0], size=n_new)
+        new_vectors = old_users[prototypes] + rng.normal(
+            0.0, 0.4, size=(n_new, old_users.shape[1])
+        )
+        user_vectors = np.vstack([drifted, new_vectors])
+        for offset in range(n_new):
+            user_id = old_users.shape[0] + offset
+            user_brand[user_id] = (
+                brands[int(rng.integers(len(brands)))]
+                if brands and rng.random() < 0.5
+                else None
+            )
+        price_sens = np.concatenate(
+            [retailer.user_price_sensitivity, rng.gamma(2.0, 0.5, size=n_new)]
+        )
+    else:
+        user_vectors = drifted
+        price_sens = retailer.user_price_sensitivity.copy()
+    return user_vectors, user_brand, price_sens
+
+
+def _simulate_day(retailer, evolution, rng) -> List[Interaction]:
+    """One new day of sessions over the (grown) catalog."""
+    spec = retailer.spec
+    n_items = retailer.n_items
+    last_time = max(
+        (it.timestamp for it in retailer.interactions), default=0.0
+    )
+    clock = last_time + 1.0
+    n_events = max(
+        spec.n_users, int(round(spec.n_events * evolution.daily_event_fraction))
+    )
+    events_per_user = max(1, n_events // retailer.n_users)
+    interactions: List[Interaction] = []
+    for user_id in range(retailer.n_users):
+        pool_size = min(spec.browse_pool_size, n_items)
+        pool = rng.choice(
+            n_items, size=pool_size, replace=False, p=retailer.item_popularity
+        )
+        scores = retailer.affinities(user_id, pool) / spec.choice_temperature
+        scores -= scores.max()
+        probs = np.exp(scores)
+        probs /= probs.sum()
+        session_len = max(1, int(rng.poisson(events_per_user)))
+        previous: Optional[int] = None
+        for _ in range(session_len):
+            companions = (
+                retailer.companions.get(previous, []) if previous is not None else []
+            )
+            if companions and rng.random() < spec.transition_prob:
+                item_index = int(companions[int(rng.integers(len(companions)))])
+            else:
+                item_index = int(rng.choice(pool, p=probs))
+            clock += float(rng.exponential(1.0))
+            affinity = retailer.affinity(user_id, item_index)
+            event = _funnel_event(affinity, spec.funnel_upgrade_prob, rng)
+            interactions.append(
+                Interaction(clock, user_id, item_index, event)
+            )
+            previous = item_index
+    return interactions

@@ -1,0 +1,274 @@
+"""Loading real datasets from CSV files (the public-data path).
+
+The paper's data is proprietary; this library's experiments use the
+synthetic generator.  For users who want to run Sigmund on *their own*
+or public data (MovieLens-style ratings, retail event exports), this
+module ingests plain CSV files into the same :class:`RetailerDataset`
+the rest of the pipeline consumes:
+
+* :func:`load_interactions_csv` — event logs with arbitrary column
+  names and an event-name mapping,
+* :func:`load_catalog_csv` — catalogs with a ``/``-separated category
+  path column (builds the :class:`Taxonomy` on the fly),
+* :func:`ratings_to_events` — the standard explicit→implicit adapter
+  (a 5-star rating says "conversion", a 3 says "view"),
+* :func:`dataset_from_files` — the one-call path from two CSVs to a
+  training-ready dataset.
+
+Only the standard library's :mod:`csv` is used — no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.data.catalog import Catalog, Item
+from repro.data.datasets import RetailerDataset
+from repro.data.events import EventType, Interaction
+from repro.data.sessions import DEFAULT_MAX_CONTEXT
+from repro.data.split import leave_last_out_split
+from repro.data.taxonomy import ROOT_CATEGORY, Taxonomy
+from repro.exceptions import DataError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Default mapping from CSV event strings to event types.
+DEFAULT_EVENT_MAPPING: Mapping[str, EventType] = {
+    "view": EventType.VIEW,
+    "search": EventType.SEARCH,
+    "cart": EventType.CART,
+    "add_to_cart": EventType.CART,
+    "purchase": EventType.CONVERSION,
+    "conversion": EventType.CONVERSION,
+    "transaction": EventType.CONVERSION,
+}
+
+
+def load_catalog_csv(
+    path: PathLike,
+    retailer_id: str,
+    item_col: str = "item_id",
+    category_col: str = "category",
+    brand_col: Optional[str] = "brand",
+    price_col: Optional[str] = "price",
+    category_separator: str = "/",
+) -> Tuple[Catalog, Taxonomy, Dict[str, int]]:
+    """Read a catalog CSV; returns (catalog, taxonomy, item-id -> index).
+
+    ``category_col`` holds a path like ``electronics/phones/android``;
+    the taxonomy tree is built from every prefix.  Missing/empty brand or
+    price cells become ``None``.
+    """
+    taxonomy = Taxonomy()
+    known_categories = {ROOT_CATEGORY}
+    items: List[Item] = []
+    item_index: Dict[str, int] = {}
+
+    for row in _read_rows(path, required=(item_col, category_col)):
+        raw_id = row[item_col].strip()
+        if not raw_id:
+            raise DataError(f"{path}: empty {item_col!r} value")
+        if raw_id in item_index:
+            raise DataError(f"{path}: duplicate item id {raw_id!r}")
+        category_path = _ensure_category(
+            taxonomy, known_categories, row[category_col], category_separator
+        )
+        brand = _optional(row, brand_col)
+        price_text = _optional(row, price_col)
+        try:
+            price = float(price_text) if price_text is not None else None
+        except ValueError:
+            raise DataError(
+                f"{path}: bad price {price_text!r} for item {raw_id!r}"
+            ) from None
+        index = len(items)
+        item_index[raw_id] = index
+        taxonomy.assign_item(index, category_path)
+        items.append(
+            Item(
+                item_id=f"{retailer_id}:{raw_id}",
+                index=index,
+                category_id=category_path,
+                brand=brand,
+                price=price,
+            )
+        )
+    if not items:
+        raise DataError(f"{path}: catalog file contains no items")
+    return Catalog(retailer_id, items), taxonomy, item_index
+
+
+def load_interactions_csv(
+    path: PathLike,
+    item_index: Mapping[str, int],
+    user_col: str = "user_id",
+    item_col: str = "item_id",
+    event_col: str = "event",
+    timestamp_col: str = "timestamp",
+    event_mapping: Mapping[str, EventType] = DEFAULT_EVENT_MAPPING,
+    skip_unknown_items: bool = True,
+) -> List[Interaction]:
+    """Read an event log CSV into :class:`Interaction` records.
+
+    Unknown item ids are skipped by default (real exports always contain
+    a few events for delisted items); set ``skip_unknown_items=False`` to
+    fail fast instead.  User ids are densified in first-seen order.
+    """
+    interactions: List[Interaction] = []
+    user_index: Dict[str, int] = {}
+    for row in _read_rows(
+        path, required=(user_col, item_col, event_col, timestamp_col)
+    ):
+        raw_item = row[item_col].strip()
+        index = item_index.get(raw_item)
+        if index is None:
+            if skip_unknown_items:
+                continue
+            raise DataError(f"{path}: unknown item id {raw_item!r}")
+        event_name = row[event_col].strip().lower()
+        event = event_mapping.get(event_name)
+        if event is None:
+            raise DataError(
+                f"{path}: unknown event {event_name!r} "
+                f"(known: {sorted(event_mapping)})"
+            )
+        try:
+            timestamp = float(row[timestamp_col])
+        except ValueError:
+            raise DataError(
+                f"{path}: bad timestamp {row[timestamp_col]!r}"
+            ) from None
+        raw_user = row[user_col].strip()
+        if raw_user not in user_index:
+            user_index[raw_user] = len(user_index)
+        interactions.append(
+            Interaction(
+                timestamp=timestamp,
+                user_id=user_index[raw_user],
+                item_index=index,
+                event=event,
+            )
+        )
+    return interactions
+
+
+def ratings_to_events(
+    rows: Sequence[Tuple[int, int, float, float]],
+    view_threshold: float = 0.0,
+    search_threshold: float = 3.0,
+    cart_threshold: float = 4.0,
+    conversion_threshold: float = 4.5,
+) -> List[Interaction]:
+    """Convert explicit ratings into the paper's implicit-event ladder.
+
+    ``rows`` are ``(user_id, item_index, rating, timestamp)``.  Ratings
+    map onto increasing intent: anything observed is at least a view; a
+    high rating behaves like a conversion.  This is the standard shim for
+    MovieLens-style public datasets.
+    """
+    interactions = []
+    for user_id, item_index, rating, timestamp in rows:
+        if rating >= conversion_threshold:
+            event = EventType.CONVERSION
+        elif rating >= cart_threshold:
+            event = EventType.CART
+        elif rating >= search_threshold:
+            event = EventType.SEARCH
+        elif rating >= view_threshold:
+            event = EventType.VIEW
+        else:
+            continue
+        interactions.append(Interaction(timestamp, user_id, item_index, event))
+    return interactions
+
+
+def dataset_from_files(
+    catalog_path: PathLike,
+    interactions_path: PathLike,
+    retailer_id: str,
+    max_context: int = DEFAULT_MAX_CONTEXT,
+    **column_overrides: object,
+) -> RetailerDataset:
+    """Two CSVs in, one training-ready :class:`RetailerDataset` out.
+
+    ``column_overrides`` are forwarded to the two loaders by prefix:
+    ``catalog_*`` keys go to :func:`load_catalog_csv` (minus the prefix)
+    and ``interactions_*`` keys to :func:`load_interactions_csv`.
+    """
+    catalog_kwargs = {
+        key[len("catalog_"):]: value
+        for key, value in column_overrides.items()
+        if key.startswith("catalog_")
+    }
+    interaction_kwargs = {
+        key[len("interactions_"):]: value
+        for key, value in column_overrides.items()
+        if key.startswith("interactions_")
+    }
+    catalog, taxonomy, item_index = load_catalog_csv(
+        catalog_path, retailer_id, **catalog_kwargs
+    )
+    interactions = load_interactions_csv(
+        interactions_path, item_index, **interaction_kwargs
+    )
+    split = leave_last_out_split(interactions, max_context=max_context)
+    return RetailerDataset(
+        retailer_id=retailer_id,
+        catalog=catalog,
+        taxonomy=taxonomy,
+        train=split.train,
+        holdout=split.holdout,
+        max_context=max_context,
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _read_rows(path: PathLike, required: Sequence[str]):
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        raise DataError(f"no such file: {file_path}")
+    with open(file_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataError(f"{file_path}: empty CSV (no header)")
+        missing = [col for col in required if col not in reader.fieldnames]
+        if missing:
+            raise DataError(
+                f"{file_path}: missing columns {missing}; "
+                f"found {reader.fieldnames}"
+            )
+        yield from reader
+
+
+def _ensure_category(
+    taxonomy: Taxonomy,
+    known: set,
+    raw_path: str,
+    separator: str,
+) -> str:
+    """Create every prefix of a category path; return the leaf id."""
+    segments = [seg.strip() for seg in raw_path.split(separator) if seg.strip()]
+    if not segments:
+        raise DataError(f"empty category path {raw_path!r}")
+    parent = ROOT_CATEGORY
+    path = ""
+    for segment in segments:
+        path = f"{path}{separator}{segment}" if path else segment
+        if path not in known:
+            taxonomy.add_category(path, parent)
+            known.add(path)
+        parent = path
+    return path
+
+
+def _optional(row: Mapping[str, str], column: Optional[str]) -> Optional[str]:
+    if column is None or column not in row:
+        return None
+    value = row[column].strip()
+    return value or None

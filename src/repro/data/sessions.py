@@ -1,0 +1,118 @@
+"""User histories and context windows (paper section III-B2, Fig. 2).
+
+Sigmund does not learn a free embedding per user.  A user is represented
+by the *context*: the sequence of their last K actions, e.g.
+``(view: Nexus 5X, search: iPhone 6, cart: Nexus 6P)``.  The model then
+forms the user embedding as a decayed linear combination of the context
+embeddings of those items, which generalizes to brand-new users without
+retraining.
+
+This module turns a retailer's event log into per-user histories and
+slides a window over each history to produce ``(context, positive)``
+pairs, exactly as paper Fig. 2 illustrates: after observing items
+``(a, b)`` the user's next action on item ``c`` yields the training
+context ``(a, b)`` with positive item ``c``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.data.events import EventType, Interaction, sort_log
+
+#: Default maximum number of past actions kept in a context (paper: ~25).
+DEFAULT_MAX_CONTEXT = 25
+
+
+@dataclass(frozen=True)
+class UserContext:
+    """The last K (event, item) actions of a user, oldest first."""
+
+    item_indices: Tuple[int, ...]
+    events: Tuple[EventType, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.item_indices) != len(self.events):
+            raise ValueError("context items and events must align")
+
+    def __len__(self) -> int:
+        return len(self.item_indices)
+
+    def truncated(self, max_context: int) -> "UserContext":
+        """Keep only the most recent ``max_context`` actions."""
+        if len(self) <= max_context:
+            return self
+        return UserContext(self.item_indices[-max_context:], self.events[-max_context:])
+
+    def extended(self, item_index: int, event: EventType, max_context: int) -> "UserContext":
+        """Return a new context with one more action appended."""
+        return UserContext(
+            self.item_indices + (item_index,), self.events + (event,)
+        ).truncated(max_context)
+
+    @property
+    def most_recent_item(self) -> int:
+        if not self.item_indices:
+            raise ValueError("empty context has no most recent item")
+        return self.item_indices[-1]
+
+    @staticmethod
+    def empty() -> "UserContext":
+        return UserContext((), ())
+
+    @staticmethod
+    def from_pairs(pairs: Sequence[Tuple[EventType, int]]) -> "UserContext":
+        """Build a context from ``[(event, item_index), ...]`` oldest first."""
+        return UserContext(
+            tuple(item for _, item in pairs), tuple(event for event, _ in pairs)
+        )
+
+
+def build_user_histories(
+    interactions: Iterable[Interaction],
+) -> Dict[int, List[Interaction]]:
+    """Group a log into per-user, time-ordered histories."""
+    histories: Dict[int, List[Interaction]] = defaultdict(list)
+    for interaction in sort_log(interactions):
+        histories[interaction.user_id].append(interaction)
+    return dict(histories)
+
+
+def context_windows(
+    history: Sequence[Interaction],
+    max_context: int = DEFAULT_MAX_CONTEXT,
+    min_context: int = 1,
+) -> Iterator[Tuple[UserContext, Interaction]]:
+    """Yield ``(context, positive)`` pairs from one user's history.
+
+    The first ``min_context`` actions only seed the context (a positive
+    with an empty context carries no ranking signal in the context-based
+    user model).
+    """
+    context = UserContext.empty()
+    for step, interaction in enumerate(history):
+        if step >= min_context and len(context) > 0:
+            yield context, interaction
+        context = context.extended(interaction.item_index, interaction.event, max_context)
+
+
+def all_context_windows(
+    histories: Dict[int, List[Interaction]],
+    max_context: int = DEFAULT_MAX_CONTEXT,
+) -> Iterator[Tuple[int, UserContext, Interaction]]:
+    """Context windows across all users as ``(user_id, context, positive)``."""
+    for user_id in sorted(histories):
+        for context, positive in context_windows(histories[user_id], max_context):
+            yield user_id, context, positive
+
+
+def final_context(
+    history: Sequence[Interaction], max_context: int = DEFAULT_MAX_CONTEXT
+) -> UserContext:
+    """The user's context after their entire history (for serving/eval)."""
+    context = UserContext.empty()
+    for interaction in history:
+        context = context.extended(interaction.item_index, interaction.event, max_context)
+    return context

@@ -1,0 +1,31 @@
+"""Goodness metrics and holdout evaluation (paper section III-C2).
+
+Sigmund selects models by MAP@10 on a per-retailer leave-last-out holdout,
+estimates MAP on a 10% item sample for very large retailers, and rejects
+AUC because it weighs all rank positions equally and barely separates
+good from mediocre models on large catalogs.  Everything needed to
+reproduce those claims lives here.
+"""
+
+from repro.evaluation.evaluator import EvaluationResult, HoldoutEvaluator
+from repro.evaluation.metrics import (
+    auc_from_rank,
+    average_precision_at_k,
+    mean_rank_metrics,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.evaluation.sampled import SampledRankEstimator
+
+__all__ = [
+    "EvaluationResult",
+    "HoldoutEvaluator",
+    "average_precision_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "auc_from_rank",
+    "mean_rank_metrics",
+    "SampledRankEstimator",
+]

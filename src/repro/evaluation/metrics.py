@@ -1,0 +1,94 @@
+"""Ranking metrics for single-relevant-item holdouts.
+
+The leave-last-out protocol gives every evaluation example exactly one
+relevant item, so each metric reduces to a function of that item's
+1-based rank among the scored pool:
+
+* ``AP@K = 1/rank`` if ``rank <= K`` else 0 (MAP is the mean over examples)
+* ``Precision@K = 1/K`` if ``rank <= K`` else 0
+* ``Recall@K = 1`` if ``rank <= K`` else 0
+* ``nDCG@K = 1/log2(rank+1)`` if ``rank <= K`` else 0
+* ``AUC = (pool - rank) / (pool - 1)`` — the fraction of irrelevant items
+  ranked below the relevant one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def _check_rank(rank: int, pool_size: int) -> None:
+    if rank < 1 or rank > pool_size:
+        raise ValueError(f"rank {rank} outside pool of size {pool_size}")
+
+
+def average_precision_at_k(rank: int, k: int = 10) -> float:
+    """AP@K with a single relevant item: reciprocal rank, cut at K."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 1.0 / rank if rank <= k else 0.0
+
+
+def precision_at_k(rank: int, k: int = 10) -> float:
+    """Fraction of the top-K slots filled by the (single) relevant item."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 1.0 / k if rank <= k else 0.0
+
+
+def recall_at_k(rank: int, k: int = 10) -> float:
+    """Whether the single relevant item makes the top K."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 1.0 if rank <= k else 0.0
+
+
+def ndcg_at_k(rank: int, k: int = 10) -> float:
+    """nDCG@K with one relevant item (ideal DCG is 1 at rank 1)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 1.0 / float(np.log2(rank + 1)) if rank <= k else 0.0
+
+
+def auc_from_rank(rank: int, pool_size: int) -> float:
+    """AUC: fraction of irrelevant items the relevant one beats.
+
+    The paper disregards AUC because "it considers all positions on the
+    ranked list with equal importance" — reproduced by experiment E11.
+    """
+    _check_rank(rank, pool_size)
+    if pool_size < 2:
+        return 1.0
+    return (pool_size - rank) / (pool_size - 1)
+
+
+def mean_rank_metrics(
+    ranks: Sequence[int], pool_size: int, k: int = 10
+) -> Dict[str, float]:
+    """All metrics averaged over a batch of holdout ranks.
+
+    ``pool_size`` is the number of items each rank was computed against
+    (the catalog size for exact evaluation, the sample size for sampled).
+    """
+    if not ranks:
+        return {
+            f"map@{k}": 0.0,
+            f"precision@{k}": 0.0,
+            f"recall@{k}": 0.0,
+            f"ndcg@{k}": 0.0,
+            "auc": 0.0,
+            "mean_rank": 0.0,
+            "examples": 0.0,
+        }
+    ranks_arr = np.asarray(ranks, dtype=np.int64)
+    return {
+        f"map@{k}": float(np.mean([average_precision_at_k(r, k) for r in ranks_arr])),
+        f"precision@{k}": float(np.mean([precision_at_k(r, k) for r in ranks_arr])),
+        f"recall@{k}": float(np.mean([recall_at_k(r, k) for r in ranks_arr])),
+        f"ndcg@{k}": float(np.mean([ndcg_at_k(r, k) for r in ranks_arr])),
+        "auc": float(np.mean([auc_from_rank(r, pool_size) for r in ranks_arr])),
+        "mean_rank": float(ranks_arr.mean()),
+        "examples": float(ranks_arr.size),
+    }

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Sigmund reproduction.
+
+All library errors derive from :class:`SigmundError` so callers can catch
+one base class at service boundaries while still being able to react to
+specific failure modes (isolation violations, capacity problems, etc.).
+"""
+
+from __future__ import annotations
+
+
+class SigmundError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(SigmundError):
+    """A configuration record or grid specification is invalid."""
+
+
+class DataError(SigmundError):
+    """Training or catalog data is malformed or inconsistent."""
+
+
+class TaxonomyError(DataError):
+    """A taxonomy operation referenced an unknown node or broke tree shape."""
+
+
+class IsolationError(SigmundError):
+    """A cross-retailer access was attempted.
+
+    Sigmund guarantees that one retailer's data and models are never used
+    for another retailer (paper section I).  The registry raises this error
+    whenever an artifact is requested under the wrong retailer id.
+    """
+
+
+class ModelNotTrainedError(SigmundError):
+    """An operation required a trained model but none was available."""
+
+
+class CheckpointError(SigmundError):
+    """A checkpoint could not be written, read, or garbage-collected."""
+
+
+class ClusterError(SigmundError):
+    """The cluster simulator was asked to do something impossible."""
+
+
+class CapacityError(ClusterError):
+    """No machine in the cell can satisfy a resource request."""
+
+
+class PreemptedError(ClusterError):
+    """Raised inside a simulated task when its VM is pre-empted."""
+
+    def __init__(self, message: str = "VM pre-empted", *, at_time: float = 0.0):
+        super().__init__(message)
+        #: Simulated time at which the pre-emption occurred.
+        self.at_time = at_time
+
+
+class MapReduceError(SigmundError):
+    """A MapReduce job failed permanently (retries exhausted)."""
+
+
+class ServingError(SigmundError):
+    """The serving store could not satisfy a request."""

@@ -1,0 +1,28 @@
+"""In-process MapReduce over the cluster simulator.
+
+Sigmund structures both training and inference as MapReduce jobs for
+manageability (sections IV-B, IV-C, V).  This package provides the
+substrate: input splits (including the contiguous-by-retailer
+organization inference depends on), mapper/reducer interfaces, a shuffle,
+and a runtime that *really executes* user code while *simulating* task
+scheduling, pre-emptions, retries, cost, and makespan on a
+:class:`~repro.cluster.cell.Cell`.
+"""
+
+from repro.mapreduce.runtime import JobStats, MapReduceJob, MapReduceRuntime
+from repro.mapreduce.splits import (
+    InputSplit,
+    contiguous_splits_by_key,
+    random_permutation_splits,
+    uniform_splits,
+)
+
+__all__ = [
+    "InputSplit",
+    "uniform_splits",
+    "random_permutation_splits",
+    "contiguous_splits_by_key",
+    "MapReduceJob",
+    "MapReduceRuntime",
+    "JobStats",
+]

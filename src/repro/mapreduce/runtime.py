@@ -1,0 +1,224 @@
+"""The MapReduce runtime: real computation, simulated scheduling.
+
+Design: user mapper/reducer code is executed exactly once per record in
+process (so jobs produce real outputs), while scheduling is *simulated*
+against the cluster — per-task durations come from a caller-supplied cost
+model, tasks run on pre-emptible VMs whose uptimes are sampled from the
+pre-emption model, pre-empted attempts are re-queued and re-billed, and
+the ledger collects the money.  This separation lets experiments measure
+makespan/cost effects (pre-emption rates, split strategies, threading)
+without re-running expensive user code per attempt.
+
+Scheduling model: the job holds ``n_workers`` single-task VM slots; each
+map task goes to the earliest-free worker (list scheduling), which is how
+a MapReduce master assigns splits to a fixed worker pool.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cost import CostLedger, ResourcePricing
+from repro.cluster.machine import Priority, VMRequest
+from repro.cluster.preemption import PreemptionModel
+from repro.exceptions import MapReduceError
+from repro.mapreduce.splits import InputSplit
+from repro.rng import SeedLike, make_rng
+
+#: A mapper takes one record and yields (key, value) pairs.
+MapperFn = Callable[[object], Iterable[Tuple[object, object]]]
+#: A reducer takes (key, values) and yields output records.
+ReducerFn = Callable[[object, List[object]], Iterable[object]]
+#: Returns simulated seconds of compute for one record.
+RecordCostFn = Callable[[object], float]
+
+#: Attempts per task before the whole job fails (MapReduce semantics).
+MAX_TASK_ATTEMPTS = 50
+
+
+def _identity_reducer(key: object, values: List[object]) -> Iterable[object]:
+    """Default reducer: pass every value through."""
+    del key
+    return values
+
+
+@dataclass
+class MapReduceJob:
+    """Specification of one job (what Sigmund's config files declare)."""
+
+    name: str
+    mapper: MapperFn
+    reducer: ReducerFn = _identity_reducer
+    n_workers: int = 4
+    vm_request: VMRequest = field(
+        default_factory=lambda: VMRequest(cpus=4, memory_gb=32, priority=Priority.PREEMPTIBLE)
+    )
+    #: Simulated seconds of map compute per record (default: 1s each).
+    record_cost_fn: RecordCostFn = lambda record: 1.0
+    #: Fixed simulated seconds per task attempt (scheduling + data fetch).
+    task_startup_seconds: float = 5.0
+    #: Simulated seconds per reduce output record (writes are cheap).
+    reduce_record_seconds: float = 0.01
+    #: Launch a backup copy of straggling tasks (Dean & Ghemawat's
+    #: speculative execution) — whichever copy finishes first wins.
+    speculative_execution: bool = False
+    #: A task whose wall time exceeds this multiple of its ideal duration
+    #: (because of pre-emption retries) gets a backup copy.
+    speculation_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise MapReduceError("a job needs at least one worker")
+
+
+@dataclass
+class JobStats:
+    """Simulated execution statistics of one job run."""
+
+    job_name: str
+    makespan_seconds: float = 0.0
+    billed_vm_seconds: float = 0.0
+    cost: float = 0.0
+    map_tasks: int = 0
+    map_attempts: int = 0
+    preemptions: int = 0
+    reduce_seconds: float = 0.0
+    speculative_copies: int = 0
+    #: Total simulated busy seconds per worker slot (skew diagnostics).
+    worker_busy_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean worker busy time; 1.0 means perfectly balanced."""
+        busy = [b for b in self.worker_busy_seconds]
+        if not busy or sum(busy) == 0:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+
+class MapReduceRuntime:
+    """Runs jobs: executes user code once, simulates the cluster around it."""
+
+    def __init__(
+        self,
+        pricing: ResourcePricing = ResourcePricing(),
+        preemption_model: PreemptionModel = PreemptionModel(),
+        ledger: Optional[CostLedger] = None,
+        seed: SeedLike = 0,
+    ):
+        self.pricing = pricing
+        self.preemption_model = preemption_model
+        self.ledger = ledger or CostLedger(pricing)
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self, job: MapReduceJob, splits: Sequence[InputSplit]
+    ) -> Tuple[List[object], JobStats]:
+        """Execute ``job`` over ``splits``; returns (outputs, stats)."""
+        stats = JobStats(job_name=job.name, map_tasks=len(splits))
+        intermediate = self._map_phase(job, splits, stats)
+        outputs = self._reduce_phase(job, intermediate, stats)
+        stats.cost = self.ledger.charge(
+            job.name, job.vm_request, stats.billed_vm_seconds
+        )
+        return outputs, stats
+
+    # ------------------------------------------------------------------
+    # Map phase
+    # ------------------------------------------------------------------
+    def _map_phase(
+        self, job: MapReduceJob, splits: Sequence[InputSplit], stats: JobStats
+    ) -> Dict[object, List[object]]:
+        # Real execution: each record through the mapper exactly once.
+        intermediate: Dict[object, List[object]] = defaultdict(list)
+        durations: List[float] = []
+        for split in splits:
+            seconds = job.task_startup_seconds
+            for record in split.records:
+                seconds += float(job.record_cost_fn(record))
+                for key, value in job.mapper(record):
+                    intermediate[key].append(value)
+            durations.append(seconds)
+
+        # Simulated scheduling: list-schedule task durations over workers,
+        # sampling VM uptime per attempt.
+        workers = [0.0] * job.n_workers
+        for duration in durations:
+            worker = min(range(job.n_workers), key=lambda w: workers[w])
+            elapsed, billed, attempts, preemptions = self._simulate_attempts(
+                duration, job.vm_request.priority
+            )
+            if (
+                job.speculative_execution
+                and elapsed > job.speculation_factor * duration
+            ):
+                # Straggler: a backup copy races the original; the winner
+                # defines wall time, both copies are billed until then.
+                backup_elapsed, _, backup_attempts, backup_preempt = (
+                    self._simulate_attempts(duration, job.vm_request.priority)
+                )
+                winner = min(elapsed, backup_elapsed)
+                billed = min(billed, winner) + winner  # loser killed at win
+                elapsed = winner
+                attempts += backup_attempts
+                preemptions += backup_preempt
+                stats.speculative_copies += 1
+            workers[worker] += elapsed
+            stats.billed_vm_seconds += billed
+            stats.map_attempts += attempts
+            stats.preemptions += preemptions
+        stats.worker_busy_seconds = workers
+        stats.makespan_seconds = max(workers) if workers else 0.0
+        return intermediate
+
+    def _simulate_attempts(
+        self, duration: float, priority: Priority
+    ) -> Tuple[float, float, int, int]:
+        """(wall, billed, attempts, preemptions) to finish one map task.
+
+        Map tasks are idempotent and restart from scratch on pre-emption
+        (training-internal checkpointing is layered above, in the record
+        cost model — see :mod:`repro.core.training`).
+        """
+        wall = billed = 0.0
+        attempts = preemptions = 0
+        while True:
+            attempts += 1
+            if attempts > MAX_TASK_ATTEMPTS:
+                raise MapReduceError(
+                    f"map task exceeded {MAX_TASK_ATTEMPTS} attempts "
+                    f"(duration {duration:.0f}s too long for pre-emptible VMs?)"
+                )
+            uptime = self.preemption_model.sample_time_to_preemption(
+                priority, self._rng
+            )
+            if duration <= uptime:
+                wall += duration
+                billed += duration
+                return wall, billed, attempts, preemptions
+            wall += uptime
+            billed += uptime
+            preemptions += 1
+
+    # ------------------------------------------------------------------
+    # Reduce phase
+    # ------------------------------------------------------------------
+    def _reduce_phase(
+        self,
+        job: MapReduceJob,
+        intermediate: Dict[object, List[object]],
+        stats: JobStats,
+    ) -> List[object]:
+        outputs: List[object] = []
+        for key in sorted(intermediate, key=repr):
+            outputs.extend(job.reducer(key, intermediate[key]))
+        stats.reduce_seconds = len(outputs) * job.reduce_record_seconds
+        stats.makespan_seconds += stats.reduce_seconds
+        stats.billed_vm_seconds += stats.reduce_seconds
+        return outputs

@@ -1,0 +1,88 @@
+"""Input splits: how records are chunked across map tasks.
+
+Three strategies from the paper:
+
+* :func:`uniform_splits` — plain contiguous chunking.
+* :func:`random_permutation_splits` — the training pipeline randomly
+  permutes config records before writing them "so that training tasks are
+  randomly divided across different MapReduces ... to balance the work"
+  (section IV-B1).
+* :func:`contiguous_splits_by_key` — the inference pipeline organizes the
+  input "in such a way that data from a single retailer is in one
+  contiguous chunk" so a mapper rarely reloads models (section IV-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.exceptions import MapReduceError
+from repro.rng import SeedLike, make_rng
+
+Record = TypeVar("Record")
+
+
+@dataclass
+class InputSplit:
+    """A chunk of input records processed by one map task."""
+
+    split_id: int
+    records: List[object]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def uniform_splits(records: Sequence[Record], n_splits: int) -> List[InputSplit]:
+    """Contiguous chunks of (nearly) equal record count."""
+    if n_splits < 1:
+        raise MapReduceError("need at least one split")
+    records = list(records)
+    n_splits = min(n_splits, max(1, len(records)))
+    base, remainder = divmod(len(records), n_splits)
+    splits: List[InputSplit] = []
+    start = 0
+    for split_id in range(n_splits):
+        size = base + (1 if split_id < remainder else 0)
+        splits.append(InputSplit(split_id, records[start : start + size]))
+        start += size
+    return splits
+
+
+def random_permutation_splits(
+    records: Sequence[Record], n_splits: int, seed: SeedLike = None
+) -> List[InputSplit]:
+    """Shuffle records, then chunk — the training pipeline's load balancer.
+
+    With skewed per-record costs (tiny vs huge retailers), contiguous
+    chunking can put all the expensive records in one split; a random
+    permutation spreads them so "workers assigned small retailers process
+    more training tasks, and those with larger retailers process fewer".
+    """
+    rng = make_rng(seed)
+    shuffled = list(records)
+    rng.shuffle(shuffled)
+    return uniform_splits(shuffled, n_splits)
+
+
+def contiguous_splits_by_key(
+    records: Sequence[Record],
+    key_fn: Callable[[Record], object],
+    n_splits: int,
+) -> List[InputSplit]:
+    """Sort records by key, then chunk — keeps each key's records together.
+
+    Inference wants all of one retailer's items adjacent so the mapper
+    loads each model at most twice (once per split boundary it straddles).
+    The sort is stable, preserving within-retailer order.
+    """
+    ordered = sorted(records, key=lambda record: _orderable(key_fn(record)))
+    return uniform_splits(ordered, n_splits)
+
+
+def _orderable(key: object) -> object:
+    """Keys may be arbitrary; compare by (type name, repr) when needed."""
+    if isinstance(key, (int, float, str)):
+        return (0, str(type(key).__name__), key if isinstance(key, str) else "", float(key) if isinstance(key, (int, float)) else 0.0)
+    return (1, str(type(key).__name__), repr(key), 0.0)

@@ -1,0 +1,45 @@
+"""Recommendation models and their training machinery.
+
+The centerpiece is :class:`~repro.models.bpr.BPRModel` — Bayesian
+Personalized Ranking with context-based user embeddings and side features
+(taxonomy / brand / price), exactly the model Sigmund trains per retailer
+(paper section III).  The package also ships the alternatives the paper
+discusses: a weighted-least-squares implicit-feedback factorizer (Hu et
+al. [15], section VI) and a popularity baseline.
+"""
+
+from repro.models.base import Recommender, ScoredItem
+from repro.models.bpr import BPRHyperParams, BPRModel
+from repro.models.negatives import (
+    AffinityNegativeSampler,
+    CoOccurrenceExcludingSampler,
+    CompositeNegativeSampler,
+    NegativeSampler,
+    TaxonomyAwareSampler,
+    UniformNegativeSampler,
+)
+from repro.models.optim import Adagrad, Optimizer, Sgd
+from repro.models.popularity import PopularityModel
+from repro.models.trainer import BPRTrainer, TrainingReport
+from repro.models.wals import WALSHyperParams, WALSModel
+
+__all__ = [
+    "Recommender",
+    "ScoredItem",
+    "BPRModel",
+    "BPRHyperParams",
+    "BPRTrainer",
+    "TrainingReport",
+    "NegativeSampler",
+    "UniformNegativeSampler",
+    "TaxonomyAwareSampler",
+    "CoOccurrenceExcludingSampler",
+    "AffinityNegativeSampler",
+    "CompositeNegativeSampler",
+    "Optimizer",
+    "Sgd",
+    "Adagrad",
+    "PopularityModel",
+    "WALSModel",
+    "WALSHyperParams",
+]

@@ -1,0 +1,102 @@
+"""The common recommender interface.
+
+Every model — BPR, WALS, co-occurrence, popularity, and the hybrid — is a
+:class:`Recommender`: given a user context it scores items, and given a
+candidate set it returns the top-K.  Inference, evaluation and serving
+only ever talk to this interface, so models are interchangeable (the paper
+notes BPR could be swapped for least-squares "easily", section VI).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.sessions import UserContext
+
+
+@dataclass(frozen=True)
+class ScoredItem:
+    """An item index paired with a model score (higher is better)."""
+
+    item_index: int
+    score: float
+
+
+class Recommender(abc.ABC):
+    """Scores items for a user context and produces ranked recommendations."""
+
+    #: Number of items this model knows about.
+    n_items: int
+
+    @abc.abstractmethod
+    def score_items(
+        self, context: UserContext, item_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Affinity scores for ``item_indices`` given ``context``.
+
+        Returns an array aligned with ``item_indices``.  Scores are only
+        comparable within one call (ranking semantics, paper section VII).
+        """
+
+    def score_all(self, context: UserContext) -> np.ndarray:
+        """Scores for every item in the catalog (naive full inference)."""
+        return self.score_items(context, range(self.n_items))
+
+    def recommend(
+        self,
+        context: UserContext,
+        k: int = 10,
+        candidates: Optional[Sequence[int]] = None,
+        exclude_context_items: bool = True,
+    ) -> List[ScoredItem]:
+        """Top-``k`` items for ``context``, optionally restricted to candidates.
+
+        ``exclude_context_items`` drops items the user already interacted
+        with — the common production default for substitute/complement
+        surfaces.
+        """
+        if candidates is None:
+            pool = np.arange(self.n_items)
+        else:
+            pool = np.asarray(list(candidates), dtype=np.int64)
+        if exclude_context_items and len(context) > 0:
+            seen = set(context.item_indices)
+            pool = np.array([i for i in pool if int(i) not in seen], dtype=np.int64)
+        if pool.size == 0:
+            return []
+        scores = np.asarray(self.score_items(context, pool), dtype=np.float64)
+        k = min(k, pool.size)
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return [ScoredItem(int(pool[t]), float(scores[t])) for t in top]
+
+    def rank_of(
+        self,
+        context: UserContext,
+        target_item: int,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> int:
+        """1-based rank of ``target_item`` among ``candidates`` (or all items).
+
+        Ties are counted against the target (worst-case rank among equals),
+        which keeps evaluation pessimistic and deterministic.
+        """
+        if candidates is None:
+            pool = np.arange(self.n_items)
+        else:
+            pool = np.asarray(list(candidates), dtype=np.int64)
+        scores = np.asarray(self.score_items(context, pool), dtype=np.float64)
+        target_positions = np.flatnonzero(pool == target_item)
+        if target_positions.size == 0:
+            raise ValueError(f"target item {target_item} not in candidate pool")
+        target_score = scores[target_positions[0]]
+        if not np.isfinite(target_score):
+            # A diverged model (NaN/inf scores) must rank worst, not best —
+            # otherwise model selection would pick garbage.
+            return int(pool.size)
+        better_or_equal = int(np.sum(scores >= target_score))
+        return better_or_equal

@@ -1,0 +1,409 @@
+"""BPR matrix factorization with context users and side features.
+
+This is Sigmund's per-retailer model (paper section III-B):
+
+* **Pairwise ranking** — for a triple ``(u, i, j)`` the model learns
+  ``x_ui > x_uj`` by ascending the log-likelihood of
+  ``sigma(x_ui - x_uj)`` (Rendle et al. [6]).
+* **Context users** (section III-B2, Eq. 1) — a user is not an id but the
+  decayed linear combination of *context embeddings* of their last K
+  actions, so brand-new users get embeddings without retraining.
+* **Side features** (section III-B4) — the effective item vector is the
+  item embedding plus hierarchically-additive taxonomy node embeddings
+  (Kanagal et al. [4]) plus brand and price-bucket embeddings (Ahmed et
+  al. [5]).  Feature switches are hyper-parameters so the grid search can
+  do per-retailer feature selection.
+
+The update rule for one triple, with ``z = x_ui - x_uj`` and
+``e = sigma(-z)``:
+
+* item side of ``i`` (own embedding + each active feature row):
+  ``theta += lr * (e * u - reg * theta)``
+* item side of ``j``: ``theta += lr * (-e * u - reg * theta)``
+* context rows ``m``: ``vc_m += lr * (w_m * e * (phi_i - phi_j) - reg * vc_m)``
+* biases: ``b_i += lr * (e - reg * b_i)``, ``b_j += lr * (-e - reg * b_j)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.catalog import Catalog
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.data.taxonomy import ROOT_CATEGORY, Taxonomy
+from repro.exceptions import ConfigError
+from repro.models.base import Recommender
+from repro.models.optim import Optimizer, make_optimizer
+from repro.rng import SeedLike, make_rng
+
+#: Context weights scale with event strength when event weighting is on —
+#: a carted item says more about the user than a viewed one.
+EVENT_CONTEXT_WEIGHT: Dict[EventType, float] = {
+    EventType.VIEW: 1.0,
+    EventType.SEARCH: 1.5,
+    EventType.CART: 2.0,
+    EventType.CONVERSION: 2.5,
+}
+
+
+@dataclass(frozen=True)
+class BPRHyperParams:
+    """Everything the grid search sweeps over for one model (section III-C1)."""
+
+    n_factors: int = 16
+    learning_rate: float = 0.05
+    reg_item: float = 0.01
+    reg_context: float = 0.01
+    reg_bias: float = 0.005
+    reg_features: float = 0.01
+    use_taxonomy: bool = True
+    use_brand: bool = True
+    use_price: bool = True
+    n_price_buckets: int = 8
+    context_decay: float = 0.85
+    event_weighting: bool = True
+    optimizer: str = "adagrad"
+    init_scale: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_factors < 1:
+            raise ConfigError("n_factors must be >= 1")
+        if not 0.0 < self.context_decay <= 1.0:
+            raise ConfigError("context_decay must be in (0, 1]")
+        if self.optimizer not in ("sgd", "adagrad"):
+            raise ConfigError(f"unknown optimizer {self.optimizer!r}")
+
+    def with_seed(self, seed: int) -> "BPRHyperParams":
+        return replace(self, seed=seed)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dict form used in config records and sweep logs."""
+        return {
+            "n_factors": self.n_factors,
+            "learning_rate": self.learning_rate,
+            "reg_item": self.reg_item,
+            "reg_context": self.reg_context,
+            "use_taxonomy": self.use_taxonomy,
+            "use_brand": self.use_brand,
+            "use_price": self.use_price,
+            "context_decay": self.context_decay,
+            "event_weighting": self.event_weighting,
+            "optimizer": self.optimizer,
+            "seed": self.seed,
+        }
+
+
+class BPRModel(Recommender):
+    """Per-retailer BPR factorization model (one instance per retailer)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        taxonomy: Taxonomy,
+        params: BPRHyperParams,
+    ):
+        self.retailer_id = catalog.retailer_id
+        self.params = params
+        self.n_items = len(catalog)
+        self._rng = make_rng(params.seed)
+
+        self._build_feature_maps(catalog, taxonomy)
+        self._init_parameters()
+        self.optimizer: Optimizer = make_optimizer(params.optimizer, params.learning_rate)
+        for name, param in self._parameters().items():
+            self.optimizer.register(name, param)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_feature_maps(self, catalog: Catalog, taxonomy: Taxonomy) -> None:
+        """Precompute per-item feature rows (ancestors, brand, price bucket)."""
+        params = self.params
+        # Taxonomy: flatten per-item ancestor lists into CSR-style arrays.
+        # The root is excluded — it is shared by everything and would only
+        # add a global constant vector.
+        self._categories: List[str] = sorted(taxonomy.categories())
+        cat_row = {category: row for row, category in enumerate(self._categories)}
+        indptr = [0]
+        ancestor_rows: List[int] = []
+        for index in range(self.n_items):
+            if params.use_taxonomy and taxonomy.has_item(index):
+                for category in taxonomy.item_ancestors(index):
+                    if category != ROOT_CATEGORY:
+                        ancestor_rows.append(cat_row[category])
+            indptr.append(len(ancestor_rows))
+        self._anc_indptr = np.asarray(indptr, dtype=np.int64)
+        self._anc_rows = np.asarray(ancestor_rows, dtype=np.int64)
+
+        # Brand: vocabulary row per item, -1 where missing or disabled.
+        brands = catalog.brand_vocabulary() if params.use_brand else []
+        self._brand_vocab: List[str] = brands
+        brand_row = {brand: row for row, brand in enumerate(brands)}
+        self._item_brand = np.array(
+            [
+                brand_row.get(item.brand, -1) if item.brand is not None else -1
+                for item in catalog
+            ],
+            dtype=np.int64,
+        )
+
+        # Price: quantile buckets over log-price, -1 where missing/disabled.
+        prices = catalog.prices()
+        self._price_edges = _price_bucket_edges(prices, params.n_price_buckets)
+        if params.use_price and self._price_edges.size > 0:
+            self._item_price_bucket = _bucketize(prices, self._price_edges)
+        else:
+            self._item_price_bucket = np.full(self.n_items, -1, dtype=np.int64)
+
+    def _init_parameters(self) -> None:
+        params = self.params
+        scale = params.init_scale
+        dim = params.n_factors
+        rng = self._rng
+
+        def init(rows: int) -> np.ndarray:
+            return rng.normal(0.0, scale, size=(rows, dim))
+
+        self.item_embeddings = init(self.n_items)
+        self.context_embeddings = init(self.n_items)
+        self.item_bias = np.zeros(self.n_items, dtype=np.float64)
+        n_categories = len(self._categories)
+        self.taxonomy_embeddings = (
+            init(n_categories) if params.use_taxonomy else np.zeros((0, dim))
+        )
+        self.brand_embeddings = (
+            init(len(self._brand_vocab)) if self._brand_vocab else np.zeros((0, dim))
+        )
+        n_buckets = max(0, self._price_edges.size - 1)
+        self.price_embeddings = (
+            init(n_buckets) if params.use_price and n_buckets else np.zeros((0, dim))
+        )
+
+    def _parameters(self) -> Dict[str, np.ndarray]:
+        return {
+            "item": self.item_embeddings,
+            "context": self.context_embeddings,
+            "bias": self.item_bias,
+            "taxonomy": self.taxonomy_embeddings,
+            "brand": self.brand_embeddings,
+            "price": self.price_embeddings,
+        }
+
+    # ------------------------------------------------------------------
+    # Embedding assembly
+    # ------------------------------------------------------------------
+    def item_ancestor_rows(self, item_index: int) -> np.ndarray:
+        """Taxonomy embedding rows contributing to one item (may be empty)."""
+        start, stop = self._anc_indptr[item_index], self._anc_indptr[item_index + 1]
+        return self._anc_rows[start:stop]
+
+    def effective_item_vector(self, item_index: int) -> np.ndarray:
+        """Item embedding plus all active feature embeddings (copy)."""
+        vector = self.item_embeddings[item_index].copy()
+        rows = self.item_ancestor_rows(item_index)
+        if rows.size:
+            vector += self.taxonomy_embeddings[rows].sum(axis=0)
+        brand_row = self._item_brand[item_index]
+        if brand_row >= 0:
+            vector += self.brand_embeddings[brand_row]
+        bucket = self._item_price_bucket[item_index]
+        if bucket >= 0:
+            vector += self.price_embeddings[bucket]
+        return vector
+
+    def effective_item_matrix(self) -> np.ndarray:
+        """Effective vectors for all items at once (used by batch inference)."""
+        matrix = self.item_embeddings.copy()
+        if self._anc_rows.size:
+            lengths = np.diff(self._anc_indptr)
+            owners = np.repeat(np.arange(self.n_items), lengths)
+            np.add.at(matrix, owners, self.taxonomy_embeddings[self._anc_rows])
+        has_brand = self._item_brand >= 0
+        if has_brand.any():
+            matrix[has_brand] += self.brand_embeddings[self._item_brand[has_brand]]
+        has_price = self._item_price_bucket >= 0
+        if has_price.any():
+            matrix[has_price] += self.price_embeddings[
+                self._item_price_bucket[has_price]
+            ]
+        return matrix
+
+    def context_weights(self, context: UserContext) -> np.ndarray:
+        """Decayed (and optionally event-weighted) weights, normalized to 1."""
+        size = len(context)
+        if size == 0:
+            return np.zeros(0)
+        ages = np.arange(size - 1, -1, -1, dtype=np.float64)
+        weights = self.params.context_decay ** ages
+        if self.params.event_weighting:
+            weights = weights * np.array(
+                [EVENT_CONTEXT_WEIGHT[event] for event in context.events]
+            )
+        total = weights.sum()
+        return weights / total if total > 0 else weights
+
+    def user_embedding(self, context: UserContext) -> np.ndarray:
+        """Eq. 1: decayed linear combination of context embeddings."""
+        if len(context) == 0:
+            return np.zeros(self.params.n_factors)
+        rows = np.asarray(context.item_indices, dtype=np.int64)
+        return self.context_weights(context) @ self.context_embeddings[rows]
+
+    # ------------------------------------------------------------------
+    # Recommender interface
+    # ------------------------------------------------------------------
+    def score_items(
+        self, context: UserContext, item_indices: Sequence[int]
+    ) -> np.ndarray:
+        items = np.asarray(list(item_indices), dtype=np.int64)
+        user = self.user_embedding(context)
+        vectors = np.stack([self.effective_item_vector(int(i)) for i in items])
+        return vectors @ user + self.item_bias[items]
+
+    def score_all(self, context: UserContext) -> np.ndarray:
+        user = self.user_embedding(context)
+        return self.effective_item_matrix() @ user + self.item_bias
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def sgd_step(self, context: UserContext, positive: int, negative: int) -> float:
+        """One BPR update on the triple; returns the example's log loss."""
+        user = self.user_embedding(context)
+        phi_pos = self.effective_item_vector(positive)
+        phi_neg = self.effective_item_vector(negative)
+        z = float(user @ (phi_pos - phi_neg)) + float(
+            self.item_bias[positive] - self.item_bias[negative]
+        )
+        z_clipped = np.clip(z, -35.0, 35.0)
+        e = 1.0 / (1.0 + np.exp(z_clipped))  # sigma(-z)
+
+        params = self.params
+        opt = self.optimizer
+        # Item-side updates for the positive and negative items.
+        self._update_item_side(positive, e * user, sign=+1.0)
+        self._update_item_side(negative, e * user, sign=-1.0)
+        opt.step(
+            "bias",
+            self.item_bias,
+            positive,
+            e - params.reg_bias * self.item_bias[positive],
+        )
+        opt.step(
+            "bias",
+            self.item_bias,
+            negative,
+            -e - params.reg_bias * self.item_bias[negative],
+        )
+        # Context-side updates (gradient of u distributes over context rows).
+        if len(context) > 0:
+            delta = e * (phi_pos - phi_neg)
+            weights = self.context_weights(context)
+            for weight, row in zip(weights, context.item_indices):
+                grad = weight * delta - params.reg_context * self.context_embeddings[row]
+                opt.step("context", self.context_embeddings, row, grad)
+        return float(np.log1p(np.exp(-z_clipped)))
+
+    def _update_item_side(self, item_index: int, scaled_user: np.ndarray, sign: float) -> None:
+        """Distribute the item-side gradient over embedding + feature rows."""
+        params = self.params
+        opt = self.optimizer
+        grad = sign * scaled_user - params.reg_item * self.item_embeddings[item_index]
+        opt.step("item", self.item_embeddings, item_index, grad)
+        for row in self.item_ancestor_rows(item_index):
+            grad = (
+                sign * scaled_user
+                - params.reg_features * self.taxonomy_embeddings[row]
+            )
+            opt.step("taxonomy", self.taxonomy_embeddings, row, grad)
+        brand_row = self._item_brand[item_index]
+        if brand_row >= 0:
+            grad = (
+                sign * scaled_user - params.reg_features * self.brand_embeddings[brand_row]
+            )
+            opt.step("brand", self.brand_embeddings, brand_row, grad)
+        bucket = self._item_price_bucket[item_index]
+        if bucket >= 0:
+            grad = (
+                sign * scaled_user - params.reg_features * self.price_embeddings[bucket]
+            )
+            opt.step("price", self.price_embeddings, bucket, grad)
+
+    # ------------------------------------------------------------------
+    # State management (checkpointing & incremental training)
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, np.ndarray]:
+        """Deep copies of all learned parameters (checkpoint payload)."""
+        return {name: param.copy() for name, param in self._parameters().items()}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameters from :meth:`get_state` output."""
+        for name, param in self._parameters().items():
+            if name not in state:
+                raise ConfigError(f"checkpoint missing parameter {name!r}")
+            if state[name].shape != param.shape:
+                raise ConfigError(
+                    f"checkpoint parameter {name!r} has shape {state[name].shape}, "
+                    f"model expects {param.shape}"
+                )
+            param[...] = state[name]
+
+    def warm_start_from(self, other: "BPRModel") -> int:
+        """Copy overlapping parameter rows from a previous day's model.
+
+        Item indices are append-only in Sigmund (new items get new ids),
+        so copying row prefixes transfers every surviving item's embedding;
+        rows beyond the old model's size keep their fresh random init.
+        Returns the number of item rows copied.  Adagrad norms are *not*
+        copied — the paper resets them before incremental runs.
+        """
+        copied = 0
+        for name, param in self._parameters().items():
+            source = other._parameters().get(name)
+            if source is None or source.ndim != param.ndim:
+                continue
+            if param.ndim == 1:
+                rows = min(param.shape[0], source.shape[0])
+                param[:rows] = source[:rows]
+            else:
+                if param.shape[1] != source.shape[1]:
+                    continue  # factor count changed; keep fresh init
+                rows = min(param.shape[0], source.shape[0])
+                param[:rows] = source[:rows]
+            if name == "item":
+                copied = rows
+        self.optimizer.reset_norms()
+        return copied
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the model (cluster-sim scheduling)."""
+        return (
+            sum(param.nbytes for param in self._parameters().values())
+            + self.optimizer.state_size_bytes()
+        )
+
+
+def _price_bucket_edges(prices: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Quantile bucket edges over log-price; empty when no prices exist."""
+    known = prices[~np.isnan(prices)]
+    if known.size < 2 or n_buckets < 1:
+        return np.zeros(0)
+    log_prices = np.log1p(known)
+    edges = np.quantile(log_prices, np.linspace(0.0, 1.0, n_buckets + 1))
+    return np.unique(edges)
+
+
+def _bucketize(prices: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bucket index per item (-1 where the price is missing)."""
+    buckets = np.full(prices.shape[0], -1, dtype=np.int64)
+    known = ~np.isnan(prices)
+    if edges.size < 2:
+        return buckets
+    positions = np.searchsorted(edges, np.log1p(prices[known]), side="right") - 1
+    buckets[known] = np.clip(positions, 0, edges.size - 2)
+    return buckets

@@ -1,0 +1,113 @@
+"""Stochastic-gradient optimizers: plain SGD and Adagrad.
+
+The paper trains BPR with SGD but sets per-parameter learning rates with
+Adagrad [18], which "damps the learning rates of frequently updated items,
+and relatively increases the rate for the rare items" and empirically
+"converges faster and is more reliable than the basic SGD" (section
+III-C1).  Incremental runs reset the accumulated norms to zero before
+continuing (section III-C3); :meth:`Adagrad.reset_norms` implements that.
+
+Optimizers here update *rows* of parameter matrices in place, which is the
+access pattern of BPR: one training triple touches a handful of embedding
+rows.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+
+class Optimizer(abc.ABC):
+    """Row-wise parameter updater.
+
+    A parameter matrix is registered once under a name; afterwards
+    :meth:`step` applies a gradient to one row (or, with ``row=None``, to
+    a whole matrix of equal shape).
+    """
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+
+    @abc.abstractmethod
+    def register(self, name: str, param: np.ndarray) -> None:
+        """Declare a parameter array before any step touches it."""
+
+    @abc.abstractmethod
+    def step(self, name: str, param: np.ndarray, row: int, grad: np.ndarray) -> None:
+        """Apply ``grad`` (ascent direction) to ``param[row]`` in place."""
+
+    def reset_norms(self) -> None:
+        """Forget any accumulated state (no-op unless the optimizer has some)."""
+
+    def state_size_bytes(self) -> int:
+        """Approximate memory held by optimizer state."""
+        return 0
+
+
+class Sgd(Optimizer):
+    """Plain stochastic gradient descent with a constant learning rate."""
+
+    def register(self, name: str, param: np.ndarray) -> None:
+        # SGD is stateless; registration is accepted for interface parity.
+        del name, param
+
+    def step(self, name: str, param: np.ndarray, row: int, grad: np.ndarray) -> None:
+        param[row] += self.learning_rate * grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-element adaptive learning rates.
+
+    Keeps the running sum of squared gradients for every parameter element
+    and scales each step by its inverse square root, so hot (popular) items
+    cool down while rare items keep learning.
+    """
+
+    def __init__(self, learning_rate: float, epsilon: float = 1e-8):
+        super().__init__(learning_rate)
+        self.epsilon = epsilon
+        self._accumulators: Dict[str, np.ndarray] = {}
+
+    def register(self, name: str, param: np.ndarray) -> None:
+        if name not in self._accumulators:
+            self._accumulators[name] = np.zeros_like(param, dtype=np.float64)
+        elif self._accumulators[name].shape != param.shape:
+            raise ValueError(
+                f"parameter {name!r} re-registered with shape {param.shape}, "
+                f"accumulator has {self._accumulators[name].shape}"
+            )
+
+    def step(self, name: str, param: np.ndarray, row: int, grad: np.ndarray) -> None:
+        acc = self._accumulators[name]
+        acc[row] += np.square(grad)
+        param[row] += self.learning_rate * grad / (np.sqrt(acc[row]) + self.epsilon)
+
+    def reset_norms(self) -> None:
+        """Zero all accumulated squared-gradient norms.
+
+        The paper resets stored norms before each incremental run so that
+        warm-started models do not inherit yesterday's damped rates.
+        """
+        for acc in self._accumulators.values():
+            acc.fill(0.0)
+
+    def accumulated_norm(self, name: str) -> float:
+        """Total accumulated squared-gradient mass for a parameter (testing)."""
+        return float(self._accumulators[name].sum())
+
+    def state_size_bytes(self) -> int:
+        return sum(acc.nbytes for acc in self._accumulators.values())
+
+
+def make_optimizer(kind: str, learning_rate: float) -> Optimizer:
+    """Factory used by config records (``kind`` is ``"sgd"`` or ``"adagrad"``)."""
+    if kind == "sgd":
+        return Sgd(learning_rate)
+    if kind == "adagrad":
+        return Adagrad(learning_rate)
+    raise ValueError(f"unknown optimizer kind {kind!r}")

@@ -1,0 +1,52 @@
+"""Popularity baseline: rank items by (strength-weighted) interaction counts.
+
+Not described as a production model in the paper, but the standard sanity
+baseline every recommender evaluation needs — and the definition of
+"head" vs "tail" items used by the hybrid policy and the Fig. 6
+reproduction comes from these counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.data.events import EventType, Interaction
+from repro.data.sessions import UserContext
+from repro.models.base import Recommender
+
+#: How much each event type contributes to an item's popularity mass.
+EVENT_POPULARITY_WEIGHT: Dict[EventType, float] = {
+    EventType.VIEW: 1.0,
+    EventType.SEARCH: 2.0,
+    EventType.CART: 4.0,
+    EventType.CONVERSION: 8.0,
+}
+
+
+class PopularityModel(Recommender):
+    """Context-independent scores: ``log1p`` of weighted interaction counts."""
+
+    def __init__(self, n_items: int, interactions: Iterable[Interaction]):
+        self.n_items = n_items
+        counts = np.zeros(n_items, dtype=np.float64)
+        for interaction in interactions:
+            counts[interaction.item_index] += EVENT_POPULARITY_WEIGHT[interaction.event]
+        self.weighted_counts = counts
+        self._scores = np.log1p(counts)
+
+    def score_items(
+        self, context: UserContext, item_indices: Sequence[int]
+    ) -> np.ndarray:
+        del context  # popularity ignores the user entirely
+        return self._scores[np.asarray(list(item_indices), dtype=np.int64)]
+
+    def popularity_rank(self) -> np.ndarray:
+        """Items sorted most-popular-first (used to split head vs tail)."""
+        return np.argsort(-self.weighted_counts, kind="stable")
+
+    def head_items(self, fraction: float = 0.1) -> np.ndarray:
+        """The most popular ``fraction`` of items."""
+        count = max(1, int(round(self.n_items * fraction)))
+        return self.popularity_rank()[:count]

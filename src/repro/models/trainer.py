@@ -1,0 +1,199 @@
+"""The single-machine BPR training loop (paper sections III-B, IV-B).
+
+The trainer materializes training examples from user histories:
+
+* **Implicit-positive triples** — every context window yields a
+  ``(context, positive)`` pair whose negative is drawn per-epoch by the
+  negative sampler (so each epoch contrasts against fresh negatives).
+* **Strength-constraint triples** (section III-B1) — for every item a user
+  searched, a triple is added whose negative is an item the same user
+  merely viewed; likewise cart > search and conversion > cart.  These
+  teach the model the paper's ``view < search < cart < conversion``
+  ordering.
+
+The loop supports epoch-level iteration (``iter_epochs``) so the pipeline
+layer can checkpoint on a wall-clock schedule, and convergence-based early
+stopping, which is what makes warm-started incremental runs cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import RetailerDataset
+from repro.data.events import EVENT_STRENGTH_ORDER, EventType
+from repro.data.sessions import UserContext, context_windows
+from repro.exceptions import DataError
+from repro.models.bpr import BPRModel
+from repro.models.negatives import NegativeSampler, UniformNegativeSampler
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One BPR triple; ``negative`` is ``None`` when sampled per epoch."""
+
+    context: UserContext
+    positive: int
+    negative: Optional[int] = None
+
+
+@dataclass
+class TrainingReport:
+    """What one training run did — consumed by sweeps and benchmarks."""
+
+    epochs_run: int = 0
+    sgd_steps: int = 0
+    epoch_losses: List[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("inf")
+
+
+class BPRTrainer:
+    """Trains one :class:`BPRModel` on one retailer's data."""
+
+    def __init__(
+        self,
+        model: BPRModel,
+        dataset: RetailerDataset,
+        sampler: Optional[NegativeSampler] = None,
+        max_epochs: int = 20,
+        convergence_tol: float = 1e-3,
+        patience: int = 2,
+        strength_constraints: bool = True,
+        seed: SeedLike = None,
+    ):
+        if dataset.retailer_id != model.retailer_id:
+            raise DataError(
+                f"model for {model.retailer_id!r} cannot train on "
+                f"{dataset.retailer_id!r} data"
+            )
+        self.model = model
+        self.dataset = dataset
+        self.sampler = sampler or UniformNegativeSampler(model.n_items)
+        self.max_epochs = max_epochs
+        self.convergence_tol = convergence_tol
+        self.patience = patience
+        self.strength_constraints = strength_constraints
+        self._rng = make_rng(seed if seed is not None else model.params.seed)
+        self.examples: List[TrainingExample] = self._build_examples()
+
+    # ------------------------------------------------------------------
+    # Example construction
+    # ------------------------------------------------------------------
+    def _build_examples(self) -> List[TrainingExample]:
+        examples: List[TrainingExample] = []
+        histories = self.dataset.train_histories()
+        max_context = self.dataset.max_context
+        for user_id in sorted(histories):
+            history = histories[user_id]
+            # Track the strongest event each item has received so far, to
+            # build the strength-constraint negatives.
+            strongest: Dict[int, EventType] = {}
+            for context, interaction in context_windows(history, max_context):
+                examples.append(TrainingExample(context, interaction.item_index))
+                if self.strength_constraints and interaction.event > EventType.VIEW:
+                    weaker = self._weaker_item(
+                        strongest, interaction.event, interaction.item_index
+                    )
+                    if weaker is not None:
+                        examples.append(
+                            TrainingExample(
+                                context, interaction.item_index, negative=weaker
+                            )
+                        )
+                previous = strongest.get(interaction.item_index, EventType.VIEW)
+                strongest[interaction.item_index] = max(previous, interaction.event)
+            # Seed the tracker with the first interaction too (the window
+            # generator skips it as a positive but it still carries strength).
+            if history:
+                first = history[0]
+                previous = strongest.get(first.item_index, EventType.VIEW)
+                strongest[first.item_index] = max(previous, first.event)
+        return examples
+
+    def _weaker_item(
+        self,
+        strongest: Dict[int, EventType],
+        event: EventType,
+        positive: int,
+    ) -> Optional[int]:
+        """Pick an item this user touched strictly more weakly than ``event``.
+
+        Prefers the adjacent level (search pairs with view, cart with
+        search, ...) as the paper describes, falling back to any strictly
+        weaker level.
+        """
+        target_level = EVENT_STRENGTH_ORDER[event.strength - 1]
+        adjacent = [
+            item
+            for item, strength in strongest.items()
+            if strength == target_level and item != positive
+        ]
+        pool = adjacent or [
+            item
+            for item, strength in strongest.items()
+            if strength < event and item != positive
+        ]
+        if not pool:
+            return None
+        return pool[int(self._rng.integers(len(pool)))]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def run_epoch(self) -> float:
+        """One pass over all examples in random order; returns mean loss."""
+        if not self.examples:
+            return 0.0
+        order = self._rng.permutation(len(self.examples))
+        total = 0.0
+        for position in order:
+            example = self.examples[position]
+            negative = example.negative
+            if negative is None:
+                negative = self.sampler.sample(
+                    example.context, example.positive, self._rng
+                )
+            total += self.model.sgd_step(example.context, example.positive, negative)
+        return total / len(self.examples)
+
+    def iter_epochs(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(epoch_index, mean_loss)`` after each epoch until done.
+
+        Stops after ``max_epochs`` or once the relative loss improvement
+        stays below ``convergence_tol`` for ``patience`` consecutive
+        epochs.  The caller may simply stop consuming the iterator at any
+        point (e.g. on simulated pre-emption).
+        """
+        stale = 0
+        previous = float("inf")
+        for epoch in range(self.max_epochs):
+            loss = self.run_epoch()
+            yield epoch, loss
+            if previous != float("inf") and previous > 0:
+                improvement = (previous - loss) / previous
+                stale = stale + 1 if improvement < self.convergence_tol else 0
+            previous = loss
+            if stale >= self.patience:
+                return
+
+    def train(self) -> TrainingReport:
+        """Run to convergence (or ``max_epochs``) and report."""
+        report = TrainingReport()
+        for epoch, loss in self.iter_epochs():
+            report.epochs_run = epoch + 1
+            report.sgd_steps += len(self.examples)
+            report.epoch_losses.append(loss)
+        report.converged = report.epochs_run < self.max_epochs
+        return report
+
+    @property
+    def n_examples(self) -> int:
+        return len(self.examples)

@@ -1,0 +1,24 @@
+"""Batch-updated serving of precomputed recommendations.
+
+Sigmund materializes item-item recommendations offline and loads them
+into "a distributed serving system that leverages main-memory ... to
+serve low-latency requests" (section II-A), optimized for batch updates
+after each inference run rather than real-time writes (section V).  The
+store here reproduces those semantics: versioned per-retailer batch
+swaps, strict retailer isolation, and a lightweight request path that
+only does lookups and merges.
+"""
+
+from repro.serving.cluster import LookupResult, ServingCluster, ServingNode
+from repro.serving.server import RecommendationServer, ServedRecommendation
+from repro.serving.store import RecommendationStore, StoreStats
+
+__all__ = [
+    "RecommendationStore",
+    "StoreStats",
+    "RecommendationServer",
+    "ServedRecommendation",
+    "ServingCluster",
+    "ServingNode",
+    "LookupResult",
+]

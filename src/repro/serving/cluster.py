@@ -1,0 +1,254 @@
+"""The distributed serving tier (paper section II-A).
+
+"The recommendations are loaded into a distributed serving system that
+leverages main-memory and flash to serve low-latency requests."
+
+This module simulates that system faithfully enough to study its
+behaviour:
+
+* recommendations are **sharded** by (retailer, item) hash across
+  serving nodes, with **replication** for availability,
+* each node holds a **memory tier** (hot entries, ~sub-millisecond) and
+  a **flash tier** (everything else, ~an order of magnitude slower);
+  hot/cold placement follows item popularity, since head items take most
+  of the traffic,
+* batch updates **roll out replica by replica** so the fleet keeps
+  serving during a load (and a reader sees one version per replica,
+  never a torn table),
+* node failures route lookups to surviving replicas.
+
+Latencies are simulated (deterministic per tier plus per-node constants)
+so tests and benches can assert on them exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ServingError
+from repro.models.base import ScoredItem
+from repro.rng import hash_string
+
+#: Simulated lookup latencies by tier, in milliseconds.
+MEMORY_LATENCY_MS = 0.3
+FLASH_LATENCY_MS = 4.0
+#: Per-extra-replica-hop penalty when failing over.
+FAILOVER_PENALTY_MS = 0.8
+
+
+@dataclass
+class LookupResult:
+    """One lookup's answer plus where/how it was served."""
+
+    recommendations: List[ScoredItem]
+    latency_ms: float
+    node_id: int
+    tier: str
+    version: int
+
+
+@dataclass
+class _ShardReplica:
+    """One replica of one shard on one node."""
+
+    version: int = 0
+    memory: Dict[Tuple[str, int], List[ScoredItem]] = field(default_factory=dict)
+    flash: Dict[Tuple[str, int], List[ScoredItem]] = field(default_factory=dict)
+
+
+class ServingNode:
+    """A serving machine holding replicas of several shards."""
+
+    def __init__(self, node_id: int, memory_capacity_entries: int = 10_000):
+        self.node_id = node_id
+        self.memory_capacity_entries = memory_capacity_entries
+        self.replicas: Dict[int, _ShardReplica] = {}
+        self.alive = True
+        self.lookups = 0
+
+    def memory_entries(self) -> int:
+        return sum(len(replica.memory) for replica in self.replicas.values())
+
+    def install(
+        self,
+        shard_id: int,
+        version: int,
+        hot: Mapping[Tuple[str, int], List[ScoredItem]],
+        cold: Mapping[Tuple[str, int], List[ScoredItem]],
+    ) -> None:
+        """Atomically replace this node's replica of one shard."""
+        replica = _ShardReplica(
+            version=version, memory=dict(hot), flash=dict(cold)
+        )
+        self.replicas[shard_id] = replica
+
+    def lookup(self, shard_id: int, key: Tuple[str, int]) -> Optional[LookupResult]:
+        if not self.alive:
+            return None
+        replica = self.replicas.get(shard_id)
+        if replica is None:
+            return None
+        self.lookups += 1
+        if key in replica.memory:
+            return LookupResult(
+                list(replica.memory[key]), MEMORY_LATENCY_MS,
+                self.node_id, "memory", replica.version,
+            )
+        if key in replica.flash:
+            return LookupResult(
+                list(replica.flash[key]), FLASH_LATENCY_MS,
+                self.node_id, "flash", replica.version,
+            )
+        return LookupResult([], MEMORY_LATENCY_MS, self.node_id, "memory",
+                            replica.version)
+
+
+class ServingCluster:
+    """Sharded, replicated, tiered serving of precomputed recommendations."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        n_shards: int = 16,
+        replication: int = 2,
+        hot_fraction: float = 0.2,
+        memory_capacity_entries: int = 10_000,
+    ):
+        if n_nodes < 1:
+            raise ServingError("need at least one serving node")
+        if not 1 <= replication <= n_nodes:
+            raise ServingError("replication must be in [1, n_nodes]")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ServingError("hot_fraction must be in [0, 1]")
+        self.nodes = [
+            ServingNode(node_id, memory_capacity_entries)
+            for node_id in range(n_nodes)
+        ]
+        self.n_shards = n_shards
+        self.replication = replication
+        self.hot_fraction = hot_fraction
+        self._versions: Dict[str, int] = {}
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def shard_of(self, retailer_id: str, item_index: int) -> int:
+        return hash_string(f"{retailer_id}#{item_index}") % self.n_shards
+
+    def replica_nodes(self, shard_id: int) -> List[ServingNode]:
+        """The nodes hosting a shard (primary first, deterministic)."""
+        start = shard_id % len(self.nodes)
+        return [
+            self.nodes[(start + offset) % len(self.nodes)]
+            for offset in range(self.replication)
+        ]
+
+    # ------------------------------------------------------------------
+    # Batch loading with staged rollout
+    # ------------------------------------------------------------------
+    def load_batch(
+        self,
+        retailer_id: str,
+        recommendations: Mapping[int, Sequence[ScoredItem]],
+        version: int,
+    ) -> None:
+        """Install a retailer's new table across all shards and replicas.
+
+        Rollout is staged per replica index: every shard's replica 0 is
+        updated first, then replica 1, and so on — at any instant each
+        shard still has replicas serving, so a load never causes
+        downtime.  Hot/cold placement: the strongest ``hot_fraction`` of
+        items (by top recommendation score, the proxy for traffic) go to
+        the memory tier.
+        """
+        current = self._versions.get(retailer_id, 0)
+        if version <= current:
+            raise ServingError(
+                f"stale batch for {retailer_id!r}: {version} <= {current}"
+            )
+        per_shard: Dict[int, Dict[Tuple[str, int], List[ScoredItem]]] = {}
+        for item, recs in recommendations.items():
+            shard_id = self.shard_of(retailer_id, int(item))
+            per_shard.setdefault(shard_id, {})[(retailer_id, int(item))] = list(recs)
+
+        hot_keys = self._choose_hot(recommendations, retailer_id)
+        for replica_index in range(self.replication):
+            for shard_id, table in per_shard.items():
+                node = self.replica_nodes(shard_id)[replica_index]
+                hot = {k: v for k, v in table.items() if k in hot_keys}
+                cold = {k: v for k, v in table.items() if k not in hot_keys}
+                # Merge with whatever other retailers already live in this
+                # shard replica (batch swap is per retailer).
+                existing = node.replicas.get(shard_id)
+                if existing is not None:
+                    for key, value in existing.memory.items():
+                        if key[0] != retailer_id:
+                            hot[key] = value
+                    for key, value in existing.flash.items():
+                        if key[0] != retailer_id:
+                            cold[key] = value
+                node.install(shard_id, version, hot, cold)
+        self._versions[retailer_id] = version
+
+    def _choose_hot(
+        self,
+        recommendations: Mapping[int, Sequence[ScoredItem]],
+        retailer_id: str,
+    ) -> set:
+        ranked = sorted(
+            recommendations.items(),
+            key=lambda pair: -(pair[1][0].score if pair[1] else float("-inf")),
+        )
+        n_hot = int(round(len(ranked) * self.hot_fraction))
+        return {
+            (retailer_id, int(item)) for item, _ in ranked[:n_hot]
+        }
+
+    # ------------------------------------------------------------------
+    # Lookups with failover
+    # ------------------------------------------------------------------
+    def lookup(self, retailer_id: str, item_index: int) -> LookupResult:
+        """Serve one lookup, failing over across replicas as needed."""
+        if retailer_id not in self._versions:
+            raise ServingError(f"no data loaded for {retailer_id!r}")
+        shard_id = self.shard_of(retailer_id, item_index)
+        penalty = 0.0
+        for node in self.replica_nodes(shard_id):
+            result = node.lookup(shard_id, (retailer_id, item_index))
+            if result is not None:
+                result.latency_ms += penalty
+                return result
+            self.failovers += 1
+            penalty += FAILOVER_PENALTY_MS
+        raise ServingError(
+            f"shard {shard_id} unavailable: all {self.replication} replicas down"
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int) -> None:
+        self.nodes[node_id].alive = False
+
+    def recover_node(self, node_id: int) -> None:
+        self.nodes[node_id].alive = True
+
+    def version_of(self, retailer_id: str) -> Optional[int]:
+        return self._versions.get(retailer_id)
+
+    def shard_balance(self) -> float:
+        """max/mean entries per node (1.0 = perfectly even placement)."""
+        sizes = [
+            sum(
+                len(replica.memory) + len(replica.flash)
+                for replica in node.replicas.values()
+            )
+            for node in self.nodes
+        ]
+        total = sum(sizes)
+        if total == 0:
+            return 1.0
+        mean = total / len(sizes)
+        return max(sizes) / mean if mean else 1.0

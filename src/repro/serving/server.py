@@ -1,0 +1,92 @@
+"""The request-time recommendation path.
+
+Serving-time computation is deliberately trivial (section II-A): look up
+the precomputed recommendations for the context's recent items, merge
+with recency weights, drop items the user has already touched, return the
+top K.  No model evaluation happens here — new users work immediately
+because everything is keyed by item, not user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.exceptions import ServingError
+from repro.models.base import ScoredItem
+from repro.models.bpr import EVENT_CONTEXT_WEIGHT
+from repro.serving.store import RecommendationStore
+
+#: How many recent context items contribute lookups per request.
+DEFAULT_CONTEXT_LOOKUPS = 3
+
+
+@dataclass(frozen=True)
+class ServedRecommendation:
+    """One recommendation as returned to the frontend."""
+
+    item_index: int
+    score: float
+    source_item: int
+
+
+class RecommendationServer:
+    """Merges precomputed per-item recommendations for a live context."""
+
+    def __init__(
+        self,
+        store: RecommendationStore,
+        context_lookups: int = DEFAULT_CONTEXT_LOOKUPS,
+        recency_decay: float = 0.7,
+    ):
+        self.store = store
+        self.context_lookups = context_lookups
+        self.recency_decay = recency_decay
+
+    def recommend(
+        self,
+        retailer_id: str,
+        context: UserContext,
+        k: int = 10,
+    ) -> List[ServedRecommendation]:
+        """Top-``k`` merged recommendations for a context.
+
+        The most recent ``context_lookups`` context items each contribute
+        their precomputed list; scores are blended with recency decay and
+        the context event's strength, and already-seen items are dropped.
+        """
+        if len(context) == 0:
+            return []
+        seen = set(context.item_indices)
+        merged: Dict[int, ServedRecommendation] = {}
+        recent = list(zip(context.item_indices, context.events))[-self.context_lookups :]
+        for age, (item, event) in enumerate(reversed(recent)):
+            weight = (self.recency_decay ** age) * float(
+                EVENT_CONTEXT_WEIGHT[EventType(event)]
+            )
+            for scored in self.store.lookup(retailer_id, item):
+                if scored.item_index in seen:
+                    continue
+                blended = weight * scored.score
+                existing = merged.get(scored.item_index)
+                if existing is None or blended > existing.score:
+                    merged[scored.item_index] = ServedRecommendation(
+                        item_index=scored.item_index,
+                        score=blended,
+                        source_item=item,
+                    )
+        ranked = sorted(merged.values(), key=lambda rec: (-rec.score, rec.item_index))
+        return ranked[:k]
+
+    def recommend_for_item(
+        self, retailer_id: str, item_index: int, k: int = 10
+    ) -> List[ServedRecommendation]:
+        """Item-page recommendations (single-item context)."""
+        recs = self.store.lookup(retailer_id, item_index)
+        return [
+            ServedRecommendation(r.item_index, r.score, item_index)
+            for r in recs[:k]
+            if r.item_index != item_index
+        ]

@@ -1,0 +1,109 @@
+"""The versioned, batch-swapped recommendation store.
+
+Each retailer's recommendations are loaded as one atomic batch: readers
+see either yesterday's complete table or today's complete table, never a
+mix.  All reads are namespaced by retailer id and cross-retailer access
+is impossible by construction — the privacy guarantee of section I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ServingError
+from repro.models.base import ScoredItem
+
+
+@dataclass
+class StoreStats:
+    """Operational counters for monitoring dashboards."""
+
+    batches_loaded: int = 0
+    lookups: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return 1.0 - self.misses / self.lookups
+
+
+@dataclass
+class _RetailerTable:
+    """One retailer's current recommendation table plus its version."""
+
+    version: int
+    recommendations: Dict[int, List[ScoredItem]] = field(default_factory=dict)
+
+
+class RecommendationStore:
+    """In-memory item -> top-N recommendations, per retailer, versioned."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, _RetailerTable] = {}
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Batch loading (the only write path)
+    # ------------------------------------------------------------------
+    def load_batch(
+        self,
+        retailer_id: str,
+        recommendations: Mapping[int, Sequence[ScoredItem]],
+        version: int,
+    ) -> None:
+        """Atomically replace a retailer's table with a new batch.
+
+        Versions must be monotonically increasing per retailer — loading a
+        stale batch (e.g. a delayed pipeline replaying yesterday) is
+        rejected rather than silently clobbering fresher data.
+        """
+        current = self._tables.get(retailer_id)
+        if current is not None and version <= current.version:
+            raise ServingError(
+                f"stale batch for {retailer_id!r}: version {version} <= "
+                f"current {current.version}"
+            )
+        table = _RetailerTable(
+            version=version,
+            recommendations={
+                int(item): list(recs) for item, recs in recommendations.items()
+            },
+        )
+        self._tables[retailer_id] = table
+        self.stats.batches_loaded += 1
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def lookup(self, retailer_id: str, item_index: int) -> List[ScoredItem]:
+        """Precomputed recommendations for one item (empty when unknown)."""
+        self.stats.lookups += 1
+        table = self._tables.get(retailer_id)
+        if table is None:
+            self.stats.misses += 1
+            raise ServingError(f"no recommendations loaded for {retailer_id!r}")
+        recs = table.recommendations.get(int(item_index))
+        if recs is None:
+            self.stats.misses += 1
+            return []
+        return list(recs)
+
+    def has_retailer(self, retailer_id: str) -> bool:
+        return retailer_id in self._tables
+
+    def version_of(self, retailer_id: str) -> Optional[int]:
+        table = self._tables.get(retailer_id)
+        return table.version if table is not None else None
+
+    def items_covered(self, retailer_id: str) -> int:
+        """How many items of a retailer have at least one recommendation."""
+        table = self._tables.get(retailer_id)
+        if table is None:
+            return 0
+        return sum(1 for recs in table.recommendations.values() if recs)
+
+    def retailers(self) -> List[str]:
+        return sorted(self._tables)

@@ -1,0 +1,34 @@
+"""Online-experiment simulation: impressions, clicks, CTR.
+
+The paper's only data figure (Fig. 6) comes from live traffic: average
+CTR of an item shown as a recommendation, bucketed by that item's daily
+impression count, for Sigmund vs a co-occurrence baseline.  We have no
+live traffic, so this package simulates it from the synthetic ground
+truth: users click a shown recommendation with probability increasing in
+their true affinity for it.  The *shape* of Fig. 6 — factorization lifts
+the long tail, ties the head — is what the simulation reproduces.
+"""
+
+from repro.simulation.ctr import (
+    ClickModel,
+    CTRReport,
+    ctr_by_popularity_bucket,
+    simulate_ctr,
+)
+from repro.simulation.experiments import (
+    ABExperiment,
+    ArmResult,
+    ExperimentResult,
+    two_proportion_z_test,
+)
+
+__all__ = [
+    "ClickModel",
+    "CTRReport",
+    "simulate_ctr",
+    "ctr_by_popularity_bucket",
+    "ABExperiment",
+    "ArmResult",
+    "ExperimentResult",
+    "two_proportion_z_test",
+]

@@ -1,0 +1,171 @@
+"""Click-through-rate simulation against synthetic ground truth.
+
+``simulate_ctr`` replays recommendation traffic: for each request a user
+arrives with their (held-out) context, each competing system shows its
+top-K, and the click model decides clicks from the user's ground-truth
+affinity.  Impressions and clicks are tallied *per recommended item*,
+because Fig. 6's x-axis is the item's own impression volume.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import RetailerDataset
+from repro.data.generator import SyntheticRetailer
+from repro.exceptions import DataError
+from repro.models.base import Recommender
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class ClickModel:
+    """Maps ground-truth utility to click probability.
+
+    ``p(click) = max_ctr * sigmoid(sharpness * (utility - threshold))`` —
+    a standard position-free choice model, where utility is the user's
+    latent affinity plus a bonus when the shown item is a ground-truth
+    *companion* of the item the user is currently looking at (people
+    click the case for the phone on their screen).  ``max_ctr`` keeps
+    absolute CTRs realistic.
+    """
+
+    threshold: float = 1.0
+    sharpness: float = 1.2
+    max_ctr: float = 0.35
+    companion_bonus: float = 1.5
+
+    def click_probability(self, affinity: float, is_companion: bool = False) -> float:
+        utility = affinity + (self.companion_bonus if is_companion else 0.0)
+        z = self.sharpness * (utility - self.threshold)
+        return self.max_ctr / (1.0 + math.exp(-float(np.clip(z, -35.0, 35.0))))
+
+
+@dataclass
+class CTRReport:
+    """Per-system, per-item impressions and clicks, plus request counts."""
+
+    impressions: Dict[str, Dict[Tuple[str, int], int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+    clicks: Dict[str, Dict[Tuple[str, int], int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+    requests: int = 0
+    days: float = 1.0
+
+    def overall_ctr(self, system: str) -> float:
+        shown = sum(self.impressions[system].values())
+        clicked = sum(self.clicks[system].values())
+        return clicked / shown if shown else 0.0
+
+    def item_rows(self, system: str) -> List[Tuple[float, float]]:
+        """(impressions_per_day, ctr) per item for one system."""
+        rows = []
+        for key, shown in self.impressions[system].items():
+            if shown == 0:
+                continue
+            clicked = self.clicks[system].get(key, 0)
+            rows.append((shown / self.days, clicked / shown))
+        return rows
+
+
+def simulate_ctr(
+    datasets: Sequence[RetailerDataset],
+    systems: Mapping[str, Callable[[RetailerDataset], Recommender]],
+    requests_per_retailer: int = 200,
+    k: int = 6,
+    days: float = 7.0,
+    click_model: ClickModel = ClickModel(),
+    seed: SeedLike = 0,
+) -> CTRReport:
+    """Run the simulated online experiment across many retailers.
+
+    ``systems`` maps a system name to a builder that produces its
+    recommender for one retailer (so each system trains/fits on exactly
+    the same data).  Requests draw holdout users, mirroring the paper's
+    setup where the experiment traffic is disjoint from training.
+    """
+    report = CTRReport(days=days)
+    rng = make_rng(seed)
+    for dataset in datasets:
+        truth = dataset.source
+        if truth is None:
+            raise DataError(
+                f"dataset {dataset.retailer_id!r} has no synthetic ground truth; "
+                "CTR simulation needs one"
+            )
+        recommenders = {
+            name: builder(dataset) for name, builder in systems.items()
+        }
+        holdout = dataset.holdout
+        if not holdout:
+            continue
+        for _ in range(requests_per_retailer):
+            example = holdout[int(rng.integers(len(holdout)))]
+            report.requests += 1
+            recent = (
+                example.context.most_recent_item if len(example.context) else None
+            )
+            for name, recommender in recommenders.items():
+                shown = recommender.recommend(example.context, k=k)
+                for scored in shown:
+                    key = (dataset.retailer_id, scored.item_index)
+                    report.impressions[name][key] += 1
+                    affinity = truth.affinity(example.user_id, scored.item_index)
+                    is_companion = recent is not None and truth.is_companion(
+                        recent, scored.item_index
+                    )
+                    probability = click_model.click_probability(
+                        affinity, is_companion=is_companion
+                    )
+                    if rng.random() < probability:
+                        report.clicks[name][key] += 1
+    return report
+
+
+def ctr_by_popularity_bucket(
+    report: CTRReport,
+    system: str,
+    bucket_edges: Optional[Sequence[float]] = None,
+) -> List[Tuple[str, float, float, int]]:
+    """Fig. 6 series: mean CTR per impressions-per-day bucket.
+
+    Returns ``(bucket_label, mean_impressions_per_day, mean_ctr, items)``
+    rows, least popular bucket first.  Default buckets are logarithmic,
+    matching how the paper's popularity axis spans orders of magnitude.
+    """
+    rows = report.item_rows(system)
+    if not rows:
+        return []
+    if bucket_edges is None:
+        max_pop = max(pop for pop, _ in rows)
+        edges = [0.0]
+        edge = 0.5
+        while edge < max_pop:
+            edges.append(edge)
+            edge *= 2.0
+        edges.append(float("inf"))
+        bucket_edges = edges
+    buckets: List[List[Tuple[float, float]]] = [
+        [] for _ in range(len(bucket_edges) - 1)
+    ]
+    for pop, ctr in rows:
+        for b in range(len(bucket_edges) - 1):
+            if bucket_edges[b] <= pop < bucket_edges[b + 1]:
+                buckets[b].append((pop, ctr))
+                break
+    result = []
+    for b, members in enumerate(buckets):
+        if not members:
+            continue
+        label = f"[{bucket_edges[b]:.2g}, {bucket_edges[b + 1]:.2g})"
+        mean_pop = sum(p for p, _ in members) / len(members)
+        mean_ctr = sum(c for _, c in members) / len(members)
+        result.append((label, mean_pop, mean_ctr, len(members)))
+    return result

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CATALOG_CSV = """item_id,category,brand,price
+a,x/y,b1,10.0
+b,x/y,b2,12.0
+c,x/z,b1,8.0
+"""
+
+EVENTS_CSV = """user_id,item_id,event,timestamp
+u1,a,view,1
+u1,b,view,2
+u1,c,purchase,3
+u2,b,view,1
+u2,a,cart,2
+u2,c,view,3
+"""
+
+
+@pytest.fixture()
+def csv_paths(tmp_path):
+    catalog = tmp_path / "catalog.csv"
+    catalog.write_text(CATALOG_CSV)
+    events = tmp_path / "events.csv"
+    events.write_text(EVENTS_CSV)
+    return str(catalog), str(events)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.items == 300
+        assert args.command == "demo"
+
+    def test_service_overrides(self):
+        args = build_parser().parse_args(
+            ["service", "--retailers", "2", "--days", "1"]
+        )
+        assert args.retailers == 2
+        assert args.days == 1
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--items", "60", "--users", "30",
+                     "--events", "300", "--epochs", "2", "--factors", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAP@10" in out
+        assert "top-5" in out
+
+    def test_service_runs(self, capsys):
+        code = main(["service", "--retailers", "2", "--days", "2",
+                     "--median-items", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep=full" in out
+        assert "sweep=incremental" in out
+        assert "chargeback" in out
+
+    def test_inspect_csv(self, csv_paths, capsys):
+        catalog, events = csv_paths
+        assert main(["inspect", catalog, events]) == 0
+        out = capsys.readouterr().out
+        assert "items: 3" in out
+
+    def test_train_csv(self, csv_paths, capsys):
+        catalog, events = csv_paths
+        assert main(["train", catalog, events, "--epochs", "2",
+                     "--factors", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "map@10" in out

@@ -1,0 +1,261 @@
+"""Tests for the cluster simulator: clock, machines, cells, pre-emption, cost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cell import Cell, Cluster
+from repro.cluster.clock import SimClock
+from repro.cluster.cost import CostLedger, ResourcePricing
+from repro.cluster.execution import run_with_preemptions
+from repro.cluster.machine import MachineSpec, Priority, VMRequest
+from repro.cluster.preemption import PreemptionModel
+from repro.exceptions import CapacityError, ClusterError
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_advance_to(self):
+        clock = SimClock(10.0)
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_no_rewind(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ClusterError):
+            clock.advance(-1.0)
+        with pytest.raises(ClusterError):
+            clock.advance_to(5.0)
+
+
+class TestMachineAndCell:
+    def make_cell(self, machines=4, cpus=8, memory=64.0):
+        return Cell("c", machines, MachineSpec(cpus=cpus, memory_gb=memory))
+
+    def test_allocate_and_release(self):
+        cell = self.make_cell()
+        vm = cell.allocate(VMRequest(4, 16))
+        assert cell.free_cpus == 4 * 8 - 4
+        cell.release(vm)
+        assert cell.free_cpus == 32
+        assert not vm.alive
+
+    def test_capacity_error_when_full(self):
+        cell = self.make_cell(machines=1, cpus=4)
+        cell.allocate(VMRequest(4, 16))
+        with pytest.raises(CapacityError):
+            cell.allocate(VMRequest(1, 1))
+
+    def test_memory_constrains_too(self):
+        cell = self.make_cell(machines=1, cpus=16, memory=32.0)
+        cell.allocate(VMRequest(1, 32.0))
+        with pytest.raises(CapacityError):
+            cell.allocate(VMRequest(1, 1.0))
+
+    def test_regular_evicts_preemptible(self):
+        cell = self.make_cell(machines=1, cpus=8)
+        evicted = []
+        cell.eviction_listeners.append(evicted.append)
+        low = cell.allocate(VMRequest(8, 32, Priority.PREEMPTIBLE))
+        regular = cell.allocate(VMRequest(8, 32, Priority.REGULAR))
+        assert cell.evictions == 1
+        assert evicted == [low]
+        assert not low.alive
+        assert regular.alive
+
+    def test_regular_cannot_evict_regular(self):
+        cell = self.make_cell(machines=1, cpus=8)
+        cell.allocate(VMRequest(8, 32, Priority.REGULAR))
+        with pytest.raises(CapacityError):
+            cell.allocate(VMRequest(8, 32, Priority.REGULAR))
+
+    def test_minimal_evictions_chosen(self):
+        """The scheduler evicts from the machine needing fewest evictions."""
+        cell = self.make_cell(machines=2, cpus=8)
+        # machine with two 4-cpu preemptibles and machine with one 8-cpu
+        cell.machines[0].place(VMRequest(4, 8), "c", 0.0)
+        cell.machines[0].place(VMRequest(4, 8), "c", 0.0)
+        cell.machines[1].place(VMRequest(8, 8), "c", 0.0)
+        cell.allocate(VMRequest(8, 8, Priority.REGULAR))
+        assert cell.evictions == 1  # the single big VM, not the two small
+
+    def test_utilization(self):
+        cell = self.make_cell(machines=2, cpus=8)
+        assert cell.utilization == 0.0
+        cell.allocate(VMRequest(8, 8))
+        assert cell.utilization == pytest.approx(0.5)
+
+    def test_release_unknown_vm_rejected(self):
+        cell_a = self.make_cell()
+        cell_b = self.make_cell()
+        vm = cell_a.allocate(VMRequest(1, 1))
+        with pytest.raises(ClusterError):
+            cell_b.release(vm)
+
+
+class TestCluster:
+    def build(self):
+        return Cluster(
+            [
+                Cell("big", 8, MachineSpec(cpus=8, memory_gb=64)),
+                Cell("small", 2, MachineSpec(cpus=8, memory_gb=64)),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Cell("x", 1), Cell("x", 1)])
+
+    def test_cells_by_free_capacity(self):
+        cluster = self.build()
+        assert [c.name for c in cluster.cells_by_free_capacity()] == ["big", "small"]
+
+    def test_split_by_capacity_proportional(self):
+        cluster = self.build()
+        shares = cluster.split_by_capacity(10)
+        assert sum(shares.values()) == 10
+        assert shares["big"] > shares["small"] >= 1
+
+    def test_split_with_no_capacity_rejected(self):
+        cluster = Cluster([Cell("c", 1, MachineSpec(cpus=2, memory_gb=8))])
+        cluster.cell("c").allocate(VMRequest(2, 8))
+        with pytest.raises(CapacityError):
+            cluster.split_by_capacity(4)
+
+    def test_unknown_cell(self):
+        with pytest.raises(ClusterError):
+            self.build().cell("nope")
+
+
+class TestPreemptionModel:
+    def test_survival_decreases_with_duration(self):
+        model = PreemptionModel()
+        short = model.survival_probability(Priority.PREEMPTIBLE, 600)
+        long = model.survival_probability(Priority.PREEMPTIBLE, 6 * 3600)
+        assert short > long
+
+    def test_regular_far_more_reliable(self):
+        model = PreemptionModel()
+        duration = 4 * 3600
+        assert model.survival_probability(
+            Priority.REGULAR, duration
+        ) > model.survival_probability(Priority.PREEMPTIBLE, duration)
+
+    def test_expected_attempts(self):
+        model = PreemptionModel(preemptible_mean_uptime_hours=1.0)
+        assert model.expected_attempts(
+            Priority.PREEMPTIBLE, 3600
+        ) == pytest.approx(np.e, rel=1e-6)
+
+    def test_samples_deterministic_with_seed(self):
+        model = PreemptionModel()
+        a = model.sample_time_to_preemption(Priority.PREEMPTIBLE, 5)
+        b = model.sample_time_to_preemption(Priority.PREEMPTIBLE, 5)
+        assert a == b
+
+    def test_invalid_uptime(self):
+        with pytest.raises(ClusterError):
+            PreemptionModel(preemptible_mean_uptime_hours=0.0)
+
+
+class TestPricing:
+    def test_preemptible_discount(self):
+        pricing = ResourcePricing(preemptible_discount=0.7)
+        regular = pricing.cost(VMRequest(4, 32, Priority.REGULAR), 3600)
+        cheap = pricing.cost(VMRequest(4, 32, Priority.PREEMPTIBLE), 3600)
+        assert cheap == pytest.approx(0.3 * regular)
+
+    def test_cost_scales_with_time_and_size(self):
+        pricing = ResourcePricing()
+        small = pricing.cost(VMRequest(1, 1, Priority.REGULAR), 3600)
+        big = pricing.cost(VMRequest(2, 2, Priority.REGULAR), 7200)
+        assert big == pytest.approx(4 * small)
+
+    def test_ledger_accounts(self):
+        ledger = CostLedger()
+        request = VMRequest(2, 8, Priority.REGULAR)
+        ledger.charge("train", request, 3600)
+        ledger.charge("train", request, 3600)
+        ledger.charge("infer", request, 1800)
+        assert ledger.total("train") == pytest.approx(2 * ledger.total("infer") * 2)
+        assert ledger.total() == pytest.approx(
+            ledger.total("train") + ledger.total("infer")
+        )
+        assert ledger.cpu_seconds("train") == pytest.approx(2 * 2 * 3600)
+
+    def test_invalid_discount(self):
+        with pytest.raises(ClusterError):
+            ResourcePricing(preemptible_discount=1.0)
+
+
+class TestExecution:
+    def test_no_preemption_means_single_attempt(self):
+        model = PreemptionModel(regular_mean_uptime_hours=1e9)
+        trace = run_with_preemptions(
+            3600, priority=Priority.REGULAR, preemption_model=model, seed=1
+        )
+        assert trace.attempts == 1
+        assert trace.preemptions == 0
+        assert trace.wall_seconds >= 3600
+
+    def test_checkpointing_bounds_lost_work(self):
+        """With checkpoints every 60s, no single pre-emption loses much."""
+        model = PreemptionModel(preemptible_mean_uptime_hours=0.25)
+        trace = run_with_preemptions(
+            2 * 3600,
+            preemption_model=model,
+            checkpoint_interval=60.0,
+            checkpoint_write_seconds=0.5,
+            seed=7,
+        )
+        assert trace.preemptions > 0
+        assert trace.lost_work_seconds <= trace.preemptions * (60.0 + 0.5 + 30.0)
+
+    def test_no_checkpointing_loses_more(self):
+        model = PreemptionModel(preemptible_mean_uptime_hours=0.5)
+        with_ckpt = run_with_preemptions(
+            3600, preemption_model=model, checkpoint_interval=120.0, seed=3
+        )
+        without = run_with_preemptions(
+            3600, preemption_model=model, checkpoint_interval=None, seed=3
+        )
+        assert without.billed_seconds >= with_ckpt.billed_seconds
+
+    def test_work_conservation(self):
+        """billed = work + lost + checkpoints + restart overheads."""
+        model = PreemptionModel(preemptible_mean_uptime_hours=0.5)
+        trace = run_with_preemptions(
+            3600,
+            preemption_model=model,
+            checkpoint_interval=300.0,
+            checkpoint_write_seconds=2.0,
+            restart_overhead_seconds=30.0,
+            seed=11,
+        )
+        restart_overhead = 30.0 * (trace.attempts - 1)
+        # Pre-empted attempts may lose part of their restart overhead too,
+        # so conservation holds as an inequality within one uptime draw.
+        expected = (
+            trace.work_seconds
+            + trace.lost_work_seconds
+            + trace.checkpoint_overhead_seconds
+            + restart_overhead
+        )
+        assert trace.billed_seconds <= expected + 1e-6
+        assert trace.billed_seconds >= trace.work_seconds
+
+    def test_invalid_args(self):
+        with pytest.raises(ClusterError):
+            run_with_preemptions(-1.0)
+        with pytest.raises(ClusterError):
+            run_with_preemptions(10.0, checkpoint_interval=0.0)
+
+    def test_zero_work(self):
+        trace = run_with_preemptions(0.0, seed=1)
+        assert trace.billed_seconds == 0.0
+        assert trace.attempts == 0

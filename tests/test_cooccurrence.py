@@ -1,0 +1,160 @@
+"""Tests for co-occurrence counts, PMI, and the co-occurrence recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.cooccurrence.model import CoOccurrenceModel
+from repro.cooccurrence.pmi import pmi_score, pmi_table
+from repro.data.events import EventType, Interaction
+from repro.data.sessions import UserContext
+
+
+def log(*rows):
+    """rows: (user, item, event) with implicit increasing timestamps."""
+    return [
+        Interaction(float(step), user, item, event)
+        for step, (user, item, event) in enumerate(rows)
+    ]
+
+
+def simple_counts() -> CoOccurrenceCounts:
+    return CoOccurrenceCounts.from_interactions(
+        5,
+        log(
+            (1, 0, EventType.VIEW),
+            (1, 1, EventType.VIEW),
+            (1, 2, EventType.CONVERSION),
+            (2, 0, EventType.VIEW),
+            (2, 1, EventType.VIEW),
+            (3, 2, EventType.CONVERSION),
+            (3, 3, EventType.CONVERSION),
+        ),
+    )
+
+
+class TestCounts:
+    def test_co_view_symmetric(self):
+        counts = simple_counts()
+        assert counts.co_viewed(0)[1] == counts.co_viewed(1)[0] == 2.0
+
+    def test_co_buy_counts_conversions(self):
+        counts = simple_counts()
+        assert counts.co_bought(2)[3] == 1.0
+        assert counts.co_bought(3)[2] == 1.0
+
+    def test_cart_weighted_co_buy(self):
+        counts = CoOccurrenceCounts.from_interactions(
+            4,
+            log((1, 0, EventType.CART), (1, 1, EventType.CONVERSION)),
+        )
+        assert counts.co_bought(0)[1] == pytest.approx(0.5)
+
+    def test_no_self_pairs(self):
+        counts = CoOccurrenceCounts.from_interactions(
+            3, log((1, 0, EventType.VIEW), (1, 0, EventType.VIEW))
+        )
+        assert 0 not in counts.co_viewed(0)
+
+    def test_pair_window_limits_pairs(self):
+        rows = [(1, i, EventType.VIEW) for i in range(10)]
+        near = CoOccurrenceCounts.from_interactions(10, log(*rows), pair_window=1)
+        assert 2 not in near.co_viewed(0)
+        assert 1 in near.co_viewed(0)
+
+    def test_top_co_viewed_sorted(self):
+        counts = CoOccurrenceCounts.from_interactions(
+            4,
+            log(
+                (1, 0, EventType.VIEW), (1, 1, EventType.VIEW),
+                (2, 0, EventType.VIEW), (2, 1, EventType.VIEW),
+                (3, 0, EventType.VIEW), (3, 2, EventType.VIEW),
+            ),
+        )
+        assert counts.top_co_viewed(0, 2) == [1, 2]
+
+    def test_strong_sets_threshold(self):
+        counts = simple_counts()
+        strong = counts.strong_co_occurrence_sets(min_count=2.0)
+        assert 1 in strong.get(0, set())
+        # co-buy pair (2,3) has count 1.0 < 2.0, so not strong
+        assert 3 not in strong.get(2, set())
+
+
+class TestPmi:
+    def test_pmi_positive_for_associated_pair(self):
+        counts = simple_counts()
+        assert pmi_score(counts, 0, 1) > pmi_score(counts, 0, 3)
+
+    def test_pmi_table_covers_neighbours(self):
+        counts = simple_counts()
+        table = pmi_table(counts, 0)
+        assert set(table) == set(counts.co_viewed(0))
+
+    def test_pmi_buys_ranks_co_bought_above_unrelated(self):
+        counts = CoOccurrenceCounts.from_interactions(
+            3,
+            log(
+                (1, 0, EventType.CONVERSION), (1, 1, EventType.CONVERSION),
+                (2, 0, EventType.CONVERSION), (2, 1, EventType.CONVERSION),
+                (3, 2, EventType.CONVERSION), (3, 2, EventType.CONVERSION),
+            ),
+        )
+        co_bought = pmi_score(counts, 0, 1, use_buys=True)
+        unrelated = pmi_score(counts, 0, 2, use_buys=True)
+        assert co_bought > unrelated
+
+
+class TestModel:
+    def test_scores_favor_co_occurring_items(self):
+        counts = simple_counts()
+        model = CoOccurrenceModel(counts)
+        context = UserContext((0,), (EventType.VIEW,))
+        scores = model.score_items(context, [1, 3])
+        assert scores[0] > scores[1]
+
+    def test_recency_weighting(self):
+        """The most recent context item should dominate votes."""
+        counts = CoOccurrenceCounts.from_interactions(
+            6,
+            log(
+                (1, 0, EventType.VIEW), (1, 2, EventType.VIEW),
+                (2, 1, EventType.VIEW), (2, 3, EventType.VIEW),
+            ),
+        )
+        model = CoOccurrenceModel(counts, recency_decay=0.3)
+        context = UserContext((0, 1), (EventType.VIEW, EventType.VIEW))
+        scores = model.score_items(context, [2, 3])
+        # item 3 co-occurs with the most recent context item (1)
+        assert scores[1] > scores[0]
+
+    def test_tail_items_get_popularity_epsilon_only(self):
+        counts = simple_counts()
+        model = CoOccurrenceModel(counts)
+        context = UserContext((0,), (EventType.VIEW,))
+        scores = model.score_items(context, [4])
+        assert abs(scores[0]) < 1e-3  # essentially no signal
+
+    def test_coverage(self):
+        counts = simple_counts()
+        model = CoOccurrenceModel(counts)
+        # items 0,1,2,3 have co-view or pair entries; computed over co_view
+        coverage = model.coverage()
+        assert 0.0 < coverage <= 1.0
+
+    def test_recommend_excludes_context(self):
+        counts = simple_counts()
+        model = CoOccurrenceModel(counts)
+        context = UserContext((0,), (EventType.VIEW,))
+        recs = model.recommend(context, k=3)
+        assert all(r.item_index != 0 for r in recs)
+
+    def test_pmi_cache_consistency(self):
+        counts = simple_counts()
+        model = CoOccurrenceModel(counts)
+        context = UserContext((0,), (EventType.VIEW,))
+        a = model.score_items(context, [1, 2, 3])
+        b = model.score_items(context, [1, 2, 3])
+        assert np.array_equal(a, b)

@@ -1,0 +1,309 @@
+"""Tests for candidate selection, re-purchase detection, and bin packing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.core.binpack import (
+    contiguous_partition,
+    first_fit_decreasing,
+    load_balance_ratio,
+    makespan,
+)
+from repro.core.candidates import CandidateSelector, RepurchaseDetector
+from repro.data.events import EventType, Interaction
+from repro.exceptions import SigmundError
+
+
+@pytest.fixture(scope="module")
+def selector(small_dataset):
+    counts = CoOccurrenceCounts.from_interactions(
+        small_dataset.n_items, small_dataset.train
+    )
+    detector = RepurchaseDetector(small_dataset.taxonomy, small_dataset.train)
+    return CandidateSelector(
+        taxonomy=small_dataset.taxonomy,
+        counts=counts,
+        catalog=small_dataset.catalog,
+        repurchase=detector,
+    )
+
+
+class TestViewBased:
+    def test_excludes_query_item(self, selector, small_dataset):
+        for item in range(0, small_dataset.n_items, 17):
+            assert item not in selector.view_based(item)
+
+    def test_candidates_capped(self, small_dataset):
+        counts = CoOccurrenceCounts.from_interactions(
+            small_dataset.n_items, small_dataset.train
+        )
+        tight = CandidateSelector(
+            taxonomy=small_dataset.taxonomy,
+            counts=counts,
+            catalog=small_dataset.catalog,
+            max_candidates=10,
+        )
+        assert len(tight.view_based(0)) <= 10
+
+    def test_larger_k_larger_coverage(self, selector):
+        small_k = set(selector.view_based(0, lca_k=1))
+        large_k = set(selector.view_based(0, lca_k=3))
+        assert len(large_k) >= len(small_k)
+
+    def test_cold_item_falls_back_to_taxonomy(self, selector, small_dataset):
+        """An item nobody interacted with still gets candidates."""
+        cold_items = set(range(small_dataset.n_items)) - set(
+            small_dataset.interacted_items()
+        )
+        if not cold_items:
+            pytest.skip("all items interacted in this fixture")
+        cold = min(cold_items)
+        candidates = selector.view_based(cold)
+        assert candidates, "cold item must get taxonomy-based candidates"
+
+    def test_same_facet_filter(self, selector, small_dataset):
+        item = 0
+        color = small_dataset.catalog[item].facets.get("color")
+        constrained = selector.view_based(item, same_facets=["color"])
+        for candidate in constrained:
+            assert small_dataset.catalog[candidate].facets.get("color") == color
+
+
+class TestPurchaseBased:
+    def test_excludes_query_and_substitutes(self, selector, small_dataset):
+        item = 0
+        candidates = selector.purchase_based(item)
+        assert item not in candidates
+        category = small_dataset.taxonomy.category_of(item)
+        is_repurchasable = (
+            selector.repurchase is not None
+            and selector.repurchase.is_repurchasable(category)
+        )
+        if not is_repurchasable:
+            substitutes = set(small_dataset.taxonomy.lca_k(item, 1))
+            assert not (set(candidates) & substitutes)
+
+    def test_repurchasable_categories_keep_substitutes(self, small_dataset):
+        taxonomy = small_dataset.taxonomy
+        # Fabricate a repurchase-heavy log for category of item 0.
+        category = taxonomy.category_of(0)
+        peers = [i for i in taxonomy.items_in(category) if i != 0]
+        if not peers:
+            pytest.skip("category of item 0 has a single item")
+        log = []
+        t = 0.0
+        for user in (1, 2, 3):
+            for _ in range(3):
+                log.append(Interaction(t, user, 0, EventType.CONVERSION))
+                t += 1.0
+                log.append(Interaction(t, user, peers[0], EventType.CONVERSION))
+                t += 1.0
+        counts = CoOccurrenceCounts.from_interactions(small_dataset.n_items, log)
+        detector = RepurchaseDetector(taxonomy, log)
+        assert detector.is_repurchasable(category)
+        selector = CandidateSelector(
+            taxonomy=taxonomy,
+            counts=counts,
+            catalog=small_dataset.catalog,
+            repurchase=detector,
+        )
+        candidates = selector.purchase_based(0)
+        assert peers[0] in candidates  # substitute NOT removed
+
+
+class TestRepurchaseDetector:
+    def purchase_log(self):
+        return [
+            Interaction(0.0, 1, 0, EventType.CONVERSION),
+            Interaction(10.0, 1, 0, EventType.CONVERSION),
+            Interaction(20.0, 1, 0, EventType.CONVERSION),
+            Interaction(0.0, 2, 0, EventType.CONVERSION),
+            Interaction(12.0, 2, 0, EventType.CONVERSION),
+            Interaction(5.0, 3, 1, EventType.CONVERSION),
+        ]
+
+    def test_detects_repeat_categories(self, small_dataset):
+        taxonomy = small_dataset.taxonomy
+        detector = RepurchaseDetector(taxonomy, self.purchase_log())
+        category0 = taxonomy.category_of(0)
+        assert detector.is_repurchasable(category0)
+        assert category0 in detector.repurchasable_categories()
+
+    def test_single_purchases_not_repurchasable(self, small_dataset):
+        taxonomy = small_dataset.taxonomy
+        detector = RepurchaseDetector(taxonomy, self.purchase_log())
+        category1 = taxonomy.category_of(1)
+        if category1 == taxonomy.category_of(0):
+            pytest.skip("items 0 and 1 share a category in this fixture")
+        assert not detector.is_repurchasable(category1)
+
+    def test_mean_gap(self, small_dataset):
+        taxonomy = small_dataset.taxonomy
+        detector = RepurchaseDetector(taxonomy, self.purchase_log())
+        gap = detector.mean_repurchase_gap(taxonomy.category_of(0))
+        assert gap == pytest.approx((10 + 10 + 12) / 3)
+
+    def test_due_for_repurchase(self, small_dataset):
+        taxonomy = small_dataset.taxonomy
+        detector = RepurchaseDetector(taxonomy, self.purchase_log())
+        history = [Interaction(0.0, 9, 0, EventType.CONVERSION)]
+        assert detector.due_for_repurchase(history, now=20.0) == [0]
+        assert detector.due_for_repurchase(history, now=1.0) == []
+
+
+class TestBinPacking:
+    def test_first_fit_decreasing_balances(self):
+        weights = {f"r{i}": w for i, w in enumerate([100, 90, 40, 30, 20, 10, 5, 5])}
+        bins = first_fit_decreasing(weights, 3)
+        assert sum(len(b) for b in bins) == len(weights)
+        assert load_balance_ratio(bins, weights) < 1.25
+
+    def test_beats_contiguous_on_skew(self):
+        """The paper's motivation: FFD makespan <= naive contiguous."""
+        weights = {i: float(w) for i, w in enumerate([500, 3, 2, 450, 5, 4, 400, 1])}
+        ffd = first_fit_decreasing(weights, 4)
+        naive = contiguous_partition(list(weights), weights, 4)
+        assert makespan(ffd, weights) <= makespan(naive, weights)
+
+    def test_single_bin(self):
+        weights = {"a": 1.0, "b": 2.0}
+        bins = first_fit_decreasing(weights, 1)
+        assert sorted(bins[0]) == ["a", "b"]
+
+    def test_more_bins_than_items(self):
+        bins = first_fit_decreasing({"a": 1.0}, 4)
+        assert sum(len(b) for b in bins) == 1
+        assert len(bins) == 4
+
+    def test_zero_bins_rejected(self):
+        with pytest.raises(SigmundError):
+            first_fit_decreasing({"a": 1.0}, 0)
+        with pytest.raises(SigmundError):
+            contiguous_partition(["a"], {"a": 1.0}, 0)
+
+    def test_makespan_empty(self):
+        assert makespan([], {}) == 0.0
+
+    def test_deterministic(self):
+        weights = {f"k{i}": float(i % 7) + 1 for i in range(30)}
+        assert first_fit_decreasing(weights, 5) == first_fit_decreasing(weights, 5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=40
+    ),
+    n_bins=st.integers(min_value=1, max_value=8),
+)
+def test_property_ffd_within_4_3_of_lower_bound(weights, n_bins):
+    """LPT guarantee: makespan <= (4/3 - 1/(3m)) * OPT, and OPT >= max(
+    mean load, heaviest item)."""
+    table = {i: w for i, w in enumerate(weights)}
+    bins = first_fit_decreasing(table, n_bins)
+    observed = makespan(bins, table)
+    descending = sorted(weights, reverse=True)
+    lower_bound = max(sum(weights) / n_bins, descending[0])
+    if len(descending) > n_bins:
+        # Some bin must hold two of the m+1 largest items.
+        lower_bound = max(
+            lower_bound, descending[n_bins - 1] + descending[n_bins]
+        )
+    assert observed <= (4 / 3) * lower_bound + 1e-9
+    # conservation
+    packed = sorted(key for group in bins for key in group)
+    assert packed == sorted(table)
+
+
+class TestFunnelClassification:
+    def make_context(self, small_dataset, items, events):
+        from repro.data.sessions import UserContext
+
+        return UserContext(tuple(items), tuple(events))
+
+    def test_short_context_is_early(self, small_dataset):
+        from repro.core.candidates import classify_funnel
+        from repro.data.events import EventType
+
+        context = self.make_context(small_dataset, (0,), (EventType.CART,))
+        assert classify_funnel(context, small_dataset.taxonomy) == "early"
+
+    def test_browsing_across_categories_is_early(self, small_dataset):
+        from repro.core.candidates import classify_funnel
+        from repro.data.events import EventType
+
+        taxonomy = small_dataset.taxonomy
+        anchor = 0
+        far = next(
+            i for i in range(small_dataset.n_items)
+            if taxonomy.lca_distance(i, anchor) >= 3
+        )
+        context = self.make_context(
+            small_dataset, (far, anchor), (EventType.SEARCH, EventType.SEARCH)
+        )
+        assert classify_funnel(context, taxonomy) == "early"
+
+    def test_converged_strong_intent_is_late(self, small_dataset):
+        from repro.core.candidates import classify_funnel
+        from repro.data.events import EventType
+
+        taxonomy = small_dataset.taxonomy
+        anchor = 0
+        category = taxonomy.category_of(anchor)
+        peers = [i for i in taxonomy.items_in(category) if i != anchor][:2]
+        if not peers:
+            pytest.skip("anchor category has one item in this fixture")
+        items = tuple(peers) + (anchor,)
+        events = (EventType.VIEW, EventType.SEARCH, EventType.CART)[: len(items)]
+        context = self.make_context(small_dataset, items, events)
+        assert classify_funnel(context, taxonomy) == "late"
+
+    def test_weak_events_stay_early_even_when_converged(self, small_dataset):
+        from repro.core.candidates import classify_funnel
+        from repro.data.events import EventType
+
+        taxonomy = small_dataset.taxonomy
+        category = taxonomy.category_of(0)
+        peers = taxonomy.items_in(category)[:3]
+        if len(peers) < 2:
+            pytest.skip("not enough category peers")
+        context = self.make_context(
+            small_dataset, tuple(peers),
+            tuple(EventType.VIEW for _ in peers),
+        )
+        assert classify_funnel(context, taxonomy) == "early"
+
+
+class TestForContext:
+    def test_empty_context(self, selector):
+        from repro.data.sessions import UserContext
+
+        assert selector.for_context(UserContext.empty()) == []
+
+    def test_late_funnel_candidates_are_tight(self, selector, small_dataset):
+        from repro.data.events import EventType
+        from repro.data.sessions import UserContext
+
+        taxonomy = small_dataset.taxonomy
+        anchor = 0
+        peers = [
+            i for i in taxonomy.items_in(taxonomy.category_of(anchor))
+            if i != anchor
+        ][:2]
+        if not peers:
+            pytest.skip("anchor category has one item")
+        late = UserContext(
+            tuple(peers) + (anchor,),
+            (EventType.VIEW, EventType.SEARCH, EventType.CART)[: len(peers) + 1],
+        )
+        early = UserContext((anchor,), (EventType.VIEW,))
+        tight = selector.for_context(late)
+        broad = selector.for_context(early)
+        assert tight, "late funnel still yields candidates"
+        assert len(tight) <= len(broad)
+        for candidate in tight:
+            assert taxonomy.lca_distance(candidate, anchor) <= 1

@@ -1,0 +1,71 @@
+"""Tests for time-interval checkpointing and keep-latest GC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointManager
+from repro.exceptions import CheckpointError
+
+
+class TestCheckpointManager:
+    def test_interval_gating(self, fresh_model):
+        manager = CheckpointManager(interval_seconds=100.0)
+        assert manager.maybe_checkpoint("k", fresh_model, now=0.0, epoch=0)
+        assert not manager.maybe_checkpoint("k", fresh_model, now=50.0, epoch=1)
+        assert manager.maybe_checkpoint("k", fresh_model, now=100.0, epoch=2)
+        assert manager.writes == 2
+
+    def test_restore_roundtrip(self, fresh_model):
+        manager = CheckpointManager()
+        fresh_model.item_bias[0] = 7.0
+        manager.write("k", fresh_model, now=0.0, epoch=3)
+        fresh_model.item_bias[0] = -1.0
+        epoch = manager.restore("k", fresh_model)
+        assert epoch == 3
+        assert fresh_model.item_bias[0] == 7.0
+        assert manager.restores == 1
+
+    def test_checkpoint_is_snapshot_not_reference(self, fresh_model):
+        manager = CheckpointManager()
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        fresh_model.item_bias[0] = 123.0
+        manager.restore("k", fresh_model)
+        assert fresh_model.item_bias[0] != 123.0
+
+    def test_keep_latest_only(self, fresh_model):
+        """Paper: as soon as a new checkpoint is written, GC the previous."""
+        manager = CheckpointManager(interval_seconds=1.0)
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        manager.write("k", fresh_model, now=10.0, epoch=5)
+        assert manager.stored_count == 1
+        assert manager.garbage_collected == 1
+        assert manager.restore("k", fresh_model) == 5
+
+    def test_restore_missing_raises(self, fresh_model):
+        with pytest.raises(CheckpointError):
+            CheckpointManager().restore("nope", fresh_model)
+
+    def test_discard(self, fresh_model):
+        manager = CheckpointManager()
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        manager.discard("k")
+        assert not manager.has_checkpoint("k")
+        manager.discard("k")  # idempotent
+
+    def test_checkpoint_age(self, fresh_model):
+        manager = CheckpointManager()
+        assert manager.checkpoint_age("k", now=50.0) is None
+        manager.write("k", fresh_model, now=10.0, epoch=0)
+        assert manager.checkpoint_age("k", now=50.0) == pytest.approx(40.0)
+
+    def test_keys_independent(self, fresh_model):
+        manager = CheckpointManager(interval_seconds=100.0)
+        assert manager.maybe_checkpoint("a", fresh_model, now=0.0, epoch=0)
+        assert manager.maybe_checkpoint("b", fresh_model, now=1.0, epoch=0)
+        assert manager.stored_count == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(interval_seconds=0.0)

@@ -1,0 +1,89 @@
+"""Tests for catalogs, items, and global item ids."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import Catalog, Item, make_item_id, parse_item_id
+from repro.exceptions import DataError
+
+
+def build_catalog() -> Catalog:
+    items = [
+        Item("r:item0", 0, "phones", brand="acme", price=10.0),
+        Item("r:item1", 1, "phones", brand=None, price=20.0),
+        Item("r:item2", 2, "cases", brand="bolt", price=None, facets={"color": "red"}),
+        Item("r:item3", 3, "cases", brand="acme", price=5.0, facets={"color": "red"}),
+    ]
+    return Catalog("r", items)
+
+
+class TestCatalogBasics:
+    def test_len_iter_getitem(self):
+        catalog = build_catalog()
+        assert len(catalog) == 4
+        assert [item.index for item in catalog] == [0, 1, 2, 3]
+        assert catalog[2].item_id == "r:item2"
+
+    def test_by_id(self):
+        catalog = build_catalog()
+        assert catalog.by_id("r:item1").index == 1
+        assert catalog.has_id("r:item1")
+        assert not catalog.has_id("r:item99")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(DataError):
+            build_catalog().by_id("nope")
+
+    def test_misnumbered_items_rejected(self):
+        with pytest.raises(DataError):
+            Catalog("r", [Item("r:item5", 5, "c")])
+
+    def test_duplicate_ids_rejected(self):
+        items = [Item("dup", 0, "c"), Item("dup", 1, "c")]
+        with pytest.raises(DataError):
+            Catalog("r", items)
+
+
+class TestAttributeViews:
+    def test_brand_vocabulary_sorted_distinct(self):
+        assert build_catalog().brand_vocabulary() == ["acme", "bolt"]
+
+    def test_brand_coverage(self):
+        assert build_catalog().brand_coverage() == pytest.approx(3 / 4)
+
+    def test_price_coverage(self):
+        assert build_catalog().price_coverage() == pytest.approx(3 / 4)
+
+    def test_prices_has_nan_for_missing(self):
+        prices = build_catalog().prices()
+        assert prices[0] == 10.0
+        assert math.isnan(prices[2])
+
+    def test_empty_catalog_coverages(self):
+        empty = Catalog("r", [])
+        assert empty.brand_coverage() == 0.0
+        assert empty.price_coverage() == 0.0
+
+    def test_facets(self):
+        catalog = build_catalog()
+        assert catalog.facet_values("color") == [None, None, "red", "red"]
+        assert catalog.items_with_facet("color", "red") == [2, 3]
+
+
+class TestItemIds:
+    def test_roundtrip(self):
+        item_id = make_item_id("retailer_0042", 17)
+        assert parse_item_id(item_id) == ("retailer_0042", 17)
+
+    def test_ids_embed_retailer(self):
+        """Paper IV-C: the same item sold by two retailers differs by id."""
+        assert make_item_id("a", 0) != make_item_id("b", 0)
+
+    @pytest.mark.parametrize("bad", ["noitem", "item5", ":item", "r:itemx"])
+    def test_malformed_ids_rejected(self, bad):
+        with pytest.raises(DataError):
+            parse_item_id(bad)

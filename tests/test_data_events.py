@@ -1,0 +1,65 @@
+"""Tests for event types, strength ordering, and log helpers."""
+
+from __future__ import annotations
+
+from repro.data.events import (
+    EVENT_STRENGTH_ORDER,
+    EventType,
+    Interaction,
+    count_by_event,
+    filter_by_event,
+    sort_log,
+)
+
+
+class TestStrengthOrdering:
+    def test_paper_ordering(self):
+        """view < search < cart < conversion (section III-A)."""
+        assert (
+            EventType.VIEW
+            < EventType.SEARCH
+            < EventType.CART
+            < EventType.CONVERSION
+        )
+
+    def test_order_tuple_matches_enum(self):
+        assert list(EVENT_STRENGTH_ORDER) == sorted(
+            EventType, key=lambda e: e.strength
+        )
+
+    def test_stronger_than(self):
+        view = Interaction(0.0, 1, 2, EventType.VIEW)
+        cart = Interaction(1.0, 1, 2, EventType.CART)
+        assert cart.stronger_than(view)
+        assert not view.stronger_than(cart)
+        assert not view.stronger_than(view)
+
+
+class TestLogHelpers:
+    def log(self):
+        return [
+            Interaction(3.0, 1, 10, EventType.CART),
+            Interaction(1.0, 2, 11, EventType.VIEW),
+            Interaction(2.0, 1, 12, EventType.SEARCH),
+            Interaction(1.0, 1, 13, EventType.CONVERSION),
+        ]
+
+    def test_sort_log_by_time(self):
+        ordered = sort_log(self.log())
+        assert [it.timestamp for it in ordered] == [1.0, 1.0, 2.0, 3.0]
+
+    def test_sort_log_stable_user_tiebreak(self):
+        ordered = sort_log(self.log())
+        assert [it.user_id for it in ordered[:2]] == [1, 2]
+
+    def test_filter_by_event(self):
+        strong = filter_by_event(self.log(), EventType.CART)
+        assert {it.event for it in strong} == {EventType.CART, EventType.CONVERSION}
+
+    def test_count_by_event_includes_zero_rows(self):
+        counts = count_by_event(self.log())
+        assert counts[EventType.VIEW] == 1
+        assert counts[EventType.SEARCH] == 1
+        assert counts[EventType.CART] == 1
+        assert counts[EventType.CONVERSION] == 1
+        assert set(counts) == set(EVENT_STRENGTH_ORDER)

@@ -1,0 +1,142 @@
+"""Tests for day-over-day retailer evolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import dataset_from_synthetic
+from repro.data.evolution import EvolutionSpec, evolve_for_days, evolve_retailer
+from repro.data.generator import RetailerSpec, generate_retailer
+from repro.exceptions import DataError
+from repro.models.bpr import BPRHyperParams, BPRModel
+
+
+@pytest.fixture(scope="module")
+def day0():
+    return generate_retailer(
+        RetailerSpec(retailer_id="evo", n_items=100, n_users=60,
+                     n_events=800, seed=4)
+    )
+
+
+class TestEvolutionSpec:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(DataError):
+            EvolutionSpec(new_item_rate=-0.1)
+        with pytest.raises(DataError):
+            EvolutionSpec(daily_event_fraction=-1.0)
+
+
+class TestEvolveRetailer:
+    def test_items_are_appended_never_renumbered(self, day0):
+        day1 = evolve_retailer(day0, day=1)
+        assert day1.n_items > day0.n_items
+        for index in range(day0.n_items):
+            assert day1.catalog[index].item_id == day0.catalog[index].item_id
+            assert (
+                day1.catalog[index].category_id
+                == day0.catalog[index].category_id
+            )
+
+    def test_old_snapshot_frozen(self, day0):
+        before_items = day0.taxonomy.num_items
+        before_events = len(day0.interactions)
+        evolve_retailer(day0, day=1)
+        assert day0.taxonomy.num_items == before_items
+        assert len(day0.interactions) == before_events
+
+    def test_interactions_cumulative_and_ordered(self, day0):
+        day1 = evolve_retailer(day0, day=1)
+        assert day1.interactions[: len(day0.interactions)] == day0.interactions
+        old_max = max(it.timestamp for it in day0.interactions)
+        new_events = day1.interactions[len(day0.interactions):]
+        assert new_events, "a day must add interactions"
+        assert min(it.timestamp for it in new_events) > old_max
+
+    def test_new_items_get_ground_truth(self, day0):
+        day1 = evolve_retailer(day0, day=1)
+        assert day1.true_item_vectors.shape[0] == day1.n_items
+        assert day1.item_popularity.shape[0] == day1.n_items
+        assert day1.item_popularity.sum() == pytest.approx(1.0)
+        # Old items keep their vectors.
+        assert np.array_equal(
+            day1.true_item_vectors[: day0.n_items], day0.true_item_vectors
+        )
+
+    def test_new_users_join(self, day0):
+        day1 = evolve_retailer(
+            day0, day=1, evolution=EvolutionSpec(new_user_rate=0.2)
+        )
+        assert day1.n_users > day0.n_users
+        new_user = day1.n_users - 1
+        assert new_user in day1.user_brand_affinity or (
+            day1.user_brand_affinity.get(new_user) is None
+        )
+        assert day1.user_price_sensitivity.shape[0] == day1.n_users
+
+    def test_price_drift(self, day0):
+        evolution = EvolutionSpec(price_change_rate=1.0, new_item_rate=0.0)
+        day1 = evolve_retailer(day0, day=1, evolution=evolution)
+        changed = sum(
+            1
+            for old, new in zip(day0.catalog, day1.catalog)
+            if old.price is not None and new.price != old.price
+        )
+        assert changed > day0.n_items * 0.5
+
+    def test_deterministic(self, day0):
+        a = evolve_retailer(day0, day=1)
+        b = evolve_retailer(day0, day=1)
+        assert len(a.interactions) == len(b.interactions)
+        assert a.n_items == b.n_items
+        assert all(
+            x.item_index == y.item_index
+            for x, y in zip(a.interactions, b.interactions)
+        )
+
+    def test_different_days_differ(self, day0):
+        day1 = evolve_retailer(day0, day=1)
+        day1_alt = evolve_retailer(day0, day=2)
+        tail_a = day1.interactions[len(day0.interactions):]
+        tail_b = day1_alt.interactions[len(day0.interactions):]
+        assert [it.item_index for it in tail_a] != [it.item_index for it in tail_b]
+
+    def test_zero_churn(self, day0):
+        evolution = EvolutionSpec(
+            new_item_rate=0.0, new_user_rate=0.0, price_change_rate=0.0
+        )
+        day1 = evolve_retailer(day0, day=1, evolution=evolution)
+        assert day1.n_items == day0.n_items
+        assert day1.n_users == day0.n_users
+        assert len(day1.interactions) > len(day0.interactions)
+
+
+class TestMultiDay:
+    def test_evolve_for_days_monotone_growth(self, day0):
+        states = evolve_for_days(day0, 3)
+        sizes = [day0.n_items] + [s.n_items for s in states]
+        assert sizes == sorted(sizes)
+        events = [len(day0.interactions)] + [len(s.interactions) for s in states]
+        assert all(a < b for a, b in zip(events, events[1:]))
+
+    def test_warm_start_across_evolution(self, day0):
+        """Yesterday's model warm-starts today's grown catalog: old rows
+        transfer, new items keep fresh init — the incremental invariant."""
+        day1 = evolve_retailer(day0, day=1)
+        old_ds = dataset_from_synthetic(day0)
+        new_ds = dataset_from_synthetic(day1)
+        params = BPRHyperParams(n_factors=6, seed=3)
+        old_model = BPRModel(old_ds.catalog, old_ds.taxonomy, params)
+        old_model.item_embeddings[:] = 7.0  # sentinel
+        new_model = BPRModel(new_ds.catalog, new_ds.taxonomy, params)
+        copied = new_model.warm_start_from(old_model)
+        assert copied == day0.n_items
+        assert np.all(new_model.item_embeddings[: day0.n_items] == 7.0)
+        assert not np.all(new_model.item_embeddings[day0.n_items :] == 7.0)
+
+    def test_dataset_round_trip(self, day0):
+        day2 = evolve_for_days(day0, 2)[-1]
+        dataset = dataset_from_synthetic(day2)
+        assert dataset.n_items == day2.n_items
+        assert dataset.holdout, "evolved retailer still yields a holdout"

@@ -1,0 +1,122 @@
+"""Tests for user contexts and context-window construction (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.events import EventType, Interaction
+from repro.data.sessions import (
+    UserContext,
+    all_context_windows,
+    build_user_histories,
+    context_windows,
+    final_context,
+)
+
+
+def history(*items: int) -> list:
+    return [
+        Interaction(float(step), 1, item, EventType.VIEW)
+        for step, item in enumerate(items)
+    ]
+
+
+class TestUserContext:
+    def test_empty(self):
+        context = UserContext.empty()
+        assert len(context) == 0
+        with pytest.raises(ValueError):
+            _ = context.most_recent_item
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            UserContext((1, 2), (EventType.VIEW,))
+
+    def test_extended_appends_and_truncates(self):
+        context = UserContext.empty()
+        for item in range(5):
+            context = context.extended(item, EventType.VIEW, max_context=3)
+        assert context.item_indices == (2, 3, 4)
+        assert context.most_recent_item == 4
+
+    def test_truncated_noop_when_short(self):
+        context = UserContext((1,), (EventType.CART,))
+        assert context.truncated(10) is context
+
+    def test_from_pairs(self):
+        context = UserContext.from_pairs(
+            [(EventType.VIEW, 5), (EventType.CART, 6)]
+        )
+        assert context.item_indices == (5, 6)
+        assert context.events == (EventType.VIEW, EventType.CART)
+
+
+class TestContextWindows:
+    def test_paper_figure2_shape(self):
+        """Fig. 2: after (a, b) the positive at t2 is c, then (a,b,c) -> d."""
+        windows = list(context_windows(history(0, 1, 2, 3)))
+        contexts = [w[0].item_indices for w in windows]
+        positives = [w[1].item_index for w in windows]
+        assert contexts == [(0,), (0, 1), (0, 1, 2)]
+        assert positives == [1, 2, 3]
+
+    def test_first_action_only_seeds_context(self):
+        windows = list(context_windows(history(9, 8)))
+        assert len(windows) == 1
+        assert windows[0][0].item_indices == (9,)
+
+    def test_max_context_truncation(self):
+        windows = list(context_windows(history(*range(10)), max_context=3))
+        last_context = windows[-1][0]
+        assert last_context.item_indices == (6, 7, 8)
+
+    def test_empty_history(self):
+        assert list(context_windows([])) == []
+
+    def test_single_event_history_yields_nothing(self):
+        assert list(context_windows(history(4))) == []
+
+
+class TestHistories:
+    def test_build_user_histories_groups_and_orders(self):
+        log = [
+            Interaction(2.0, 1, 10, EventType.VIEW),
+            Interaction(1.0, 2, 11, EventType.VIEW),
+            Interaction(1.0, 1, 12, EventType.VIEW),
+        ]
+        histories = build_user_histories(log)
+        assert set(histories) == {1, 2}
+        assert [it.item_index for it in histories[1]] == [12, 10]
+
+    def test_all_context_windows_deterministic_user_order(self):
+        log = [
+            Interaction(0.0, 2, 1, EventType.VIEW),
+            Interaction(1.0, 2, 2, EventType.VIEW),
+            Interaction(0.0, 1, 3, EventType.VIEW),
+            Interaction(1.0, 1, 4, EventType.VIEW),
+        ]
+        rows = list(all_context_windows(build_user_histories(log)))
+        assert [user for user, _, _ in rows] == [1, 2]
+
+    def test_final_context(self):
+        context = final_context(history(1, 2, 3), max_context=2)
+        assert context.item_indices == (2, 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=30),
+    max_context=st.integers(min_value=1, max_value=10),
+)
+def test_property_windows_reconstruct_history(items, max_context):
+    """Each window's context is exactly the (truncated) prefix before its
+    positive, and window count is len(history) - 1 for non-trivial logs."""
+    h = history(*items)
+    windows = list(context_windows(h, max_context=max_context))
+    assert len(windows) == max(0, len(items) - 1)
+    for position, (context, positive) in enumerate(windows):
+        prefix = tuple(items[: position + 1])[-max_context:]
+        assert context.item_indices == prefix
+        assert positive.item_index == items[position + 1]

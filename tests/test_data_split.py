@@ -1,0 +1,80 @@
+"""Tests for the leave-last-out holdout split (paper section III-C2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.events import EventType, Interaction
+from repro.data.split import (
+    leave_last_out_split,
+    per_user_train_counts,
+)
+
+
+def log_for(users: dict) -> list:
+    """users: user_id -> list of item indices (in time order)."""
+    interactions = []
+    for user_id, items in users.items():
+        for step, item in enumerate(items):
+            interactions.append(
+                Interaction(float(step), user_id, item, EventType.VIEW)
+            )
+    return interactions
+
+
+class TestLeaveLastOut:
+    def test_users_above_threshold_are_held_out(self):
+        split = leave_last_out_split(log_for({1: [10, 11, 12]}))
+        assert split.num_holdout == 1
+        example = split.holdout[0]
+        assert example.user_id == 1
+        assert example.held_out_item == 12
+        assert example.context.item_indices == (10, 11)
+
+    def test_users_at_threshold_stay_in_training(self):
+        """Paper: 'every user with more than 2 interactions' is held out."""
+        split = leave_last_out_split(log_for({1: [10, 11]}))
+        assert split.num_holdout == 0
+        assert split.num_train == 2
+
+    def test_train_excludes_held_out_event(self):
+        split = leave_last_out_split(log_for({1: [10, 11, 12, 13]}))
+        assert split.num_train == 3
+        assert [it.item_index for it in split.train] == [10, 11, 12]
+
+    def test_multiple_users_sorted(self):
+        split = leave_last_out_split(
+            log_for({3: [1, 2, 3], 1: [4, 5, 6], 2: [7, 8]})
+        )
+        assert [ex.user_id for ex in split.holdout] == [1, 3]
+
+    def test_context_respects_max_context(self):
+        split = leave_last_out_split(
+            log_for({1: list(range(30))}), max_context=5
+        )
+        assert len(split.holdout[0].context) == 5
+
+    def test_empty_log(self):
+        split = leave_last_out_split([])
+        assert split.num_train == 0
+        assert split.num_holdout == 0
+
+    def test_per_user_train_counts(self):
+        split = leave_last_out_split(log_for({1: [1, 2, 3], 2: [4]}))
+        counts = per_user_train_counts(split)
+        assert counts == {1: 2, 2: 1}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=8)
+)
+def test_property_split_conserves_interactions(sizes):
+    """Every interaction lands in train or (exactly one per user) holdout."""
+    users = {u: list(range(size)) for u, size in enumerate(sizes)}
+    total = sum(sizes)
+    split = leave_last_out_split(log_for(users))
+    assert split.num_train + split.num_holdout == total
+    held_users = {ex.user_id for ex in split.holdout}
+    assert held_users == {u for u, size in enumerate(sizes) if size > 2}

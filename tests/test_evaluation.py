@@ -1,0 +1,162 @@
+"""Tests for ranking metrics, sampled estimation, and the evaluator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.evaluator import HoldoutEvaluator
+from repro.evaluation.metrics import (
+    auc_from_rank,
+    average_precision_at_k,
+    mean_rank_metrics,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.evaluation.sampled import SampledRankEstimator
+from repro.models.popularity import PopularityModel
+
+
+class TestMetrics:
+    def test_ap_reciprocal_rank(self):
+        assert average_precision_at_k(1, 10) == 1.0
+        assert average_precision_at_k(4, 10) == 0.25
+        assert average_precision_at_k(11, 10) == 0.0
+
+    def test_precision(self):
+        assert precision_at_k(3, 10) == 0.1
+        assert precision_at_k(11, 10) == 0.0
+
+    def test_recall(self):
+        assert recall_at_k(10, 10) == 1.0
+        assert recall_at_k(11, 10) == 0.0
+
+    def test_ndcg(self):
+        assert ndcg_at_k(1, 10) == 1.0
+        assert ndcg_at_k(3, 10) == pytest.approx(1.0 / math.log2(4))
+        assert ndcg_at_k(11, 10) == 0.0
+
+    def test_auc(self):
+        assert auc_from_rank(1, 101) == 1.0
+        assert auc_from_rank(101, 101) == 0.0
+        assert auc_from_rank(51, 101) == 0.5
+
+    def test_auc_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            auc_from_rank(0, 10)
+        with pytest.raises(ValueError):
+            auc_from_rank(11, 10)
+
+    def test_invalid_k_rejected(self):
+        for fn in (average_precision_at_k, precision_at_k, recall_at_k, ndcg_at_k):
+            with pytest.raises(ValueError):
+                fn(1, 0)
+
+    def test_mean_rank_metrics_batch(self):
+        metrics = mean_rank_metrics([1, 2, 20], pool_size=100, k=10)
+        assert metrics["map@10"] == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+        assert metrics["recall@10"] == pytest.approx(2 / 3)
+        assert metrics["mean_rank"] == pytest.approx(23 / 3)
+        assert metrics["examples"] == 3.0
+
+    def test_mean_rank_metrics_empty(self):
+        metrics = mean_rank_metrics([], pool_size=10)
+        assert metrics["map@10"] == 0.0
+        assert metrics["examples"] == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rank=st.integers(min_value=1, max_value=500),
+    k=st.integers(min_value=1, max_value=50),
+)
+def test_property_metric_bounds_and_monotonicity(rank, k):
+    """All metrics live in [0,1]; better rank never hurts any metric."""
+    for fn in (average_precision_at_k, precision_at_k, recall_at_k, ndcg_at_k):
+        value = fn(rank, k)
+        assert 0.0 <= value <= 1.0
+        if rank > 1:
+            assert fn(rank - 1, k) >= value
+    assert 0.0 <= auc_from_rank(rank, 500) <= 1.0
+    if rank > 1:
+        assert auc_from_rank(rank - 1, 500) >= auc_from_rank(rank, 500)
+
+
+class TestSampledEstimator:
+    def test_full_sample_is_exact(self, trained_model, small_dataset):
+        estimator = SampledRankEstimator(
+            small_dataset.n_items, sample_fraction=1.0, seed=1
+        )
+        example = small_dataset.holdout[0]
+        exact = trained_model.rank_of(example.context, example.held_out_item)
+        assert estimator.estimate_rank(
+            trained_model, example.context, example.held_out_item
+        ) == pytest.approx(exact)
+
+    def test_estimates_close_to_exact(self, trained_model, small_dataset):
+        estimator = SampledRankEstimator(
+            small_dataset.n_items, sample_fraction=0.5, min_sample=10, seed=2
+        )
+        errors = []
+        for example in small_dataset.holdout[:30]:
+            exact = trained_model.rank_of(example.context, example.held_out_item)
+            estimate = estimator.estimate_rank(
+                trained_model, example.context, example.held_out_item
+            )
+            errors.append(abs(estimate - exact))
+        assert np.mean(errors) < small_dataset.n_items * 0.15
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SampledRankEstimator(100, sample_fraction=0.0)
+
+    def test_sample_size_respects_min(self):
+        estimator = SampledRankEstimator(1000, sample_fraction=0.01, min_sample=50)
+        assert estimator.sample_size == 50
+
+    def test_rank_one_when_target_beats_sample(self, small_dataset):
+        model = PopularityModel(small_dataset.n_items, small_dataset.train)
+        top_item = int(model.popularity_rank()[0])
+        estimator = SampledRankEstimator(
+            small_dataset.n_items, sample_fraction=0.5, seed=3
+        )
+        from repro.data.sessions import UserContext
+
+        estimate = estimator.estimate_rank(model, UserContext.empty(), top_item)
+        assert estimate == pytest.approx(1.0)
+
+
+class TestEvaluator:
+    def test_exact_for_small_catalogs(self, trained_model, small_dataset):
+        evaluator = HoldoutEvaluator(small_dataset)
+        result = evaluator.evaluate(trained_model)
+        assert not result.sampled
+        assert 0.0 <= result.map_at_10 <= 1.0
+        assert result.metrics["examples"] == len(small_dataset.holdout)
+
+    def test_sampled_when_forced(self, trained_model, small_dataset):
+        evaluator = HoldoutEvaluator(small_dataset)
+        result = evaluator.evaluate(trained_model, force_sampled=True)
+        assert result.sampled
+
+    def test_sampled_vs_exact_agree_on_ordering(self, small_dataset, trained_model):
+        """The paper's claim in miniature: sampling must preserve which of
+        two models is better."""
+        weak = PopularityModel(small_dataset.n_items, small_dataset.train)
+        evaluator = HoldoutEvaluator(small_dataset)
+        exact_good = evaluator.evaluate(trained_model, force_exact=True).map_at_10
+        exact_weak = evaluator.evaluate(weak, force_exact=True).map_at_10
+        sampled_good = evaluator.evaluate(trained_model, force_sampled=True).map_at_10
+        sampled_weak = evaluator.evaluate(weak, force_sampled=True).map_at_10
+        assert (exact_good > exact_weak) == (sampled_good > sampled_weak)
+
+    def test_metric_accessor(self, trained_model, small_dataset):
+        result = HoldoutEvaluator(small_dataset).evaluate(trained_model)
+        assert result.metric("auc") == result.metrics["auc"]
+        with pytest.raises(KeyError):
+            result.metric("nope")

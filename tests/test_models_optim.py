@@ -1,0 +1,105 @@
+"""Tests for SGD and Adagrad optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.optim import Adagrad, Sgd, make_optimizer
+
+
+class TestSgd:
+    def test_step_applies_learning_rate(self):
+        param = np.zeros((3, 2))
+        opt = Sgd(0.5)
+        opt.register("p", param)
+        opt.step("p", param, 1, np.array([2.0, -2.0]))
+        assert np.allclose(param[1], [1.0, -1.0])
+        assert np.allclose(param[0], 0.0)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Sgd(0.0)
+
+    def test_stateless(self):
+        assert Sgd(0.1).state_size_bytes() == 0
+
+
+class TestAdagrad:
+    def test_first_step_is_unit_scaled(self):
+        """With an empty accumulator, step size is ~lr * sign(grad)."""
+        param = np.zeros((1, 2))
+        opt = Adagrad(0.1)
+        opt.register("p", param)
+        opt.step("p", param, 0, np.array([4.0, -9.0]))
+        assert np.allclose(param[0], [0.1, -0.1], atol=1e-6)
+
+    def test_repeated_updates_damp(self):
+        """Hot rows cool down: the same gradient moves the row less later."""
+        param = np.zeros((1, 1))
+        opt = Adagrad(0.1)
+        opt.register("p", param)
+        opt.step("p", param, 0, np.array([1.0]))
+        first_move = float(param[0, 0])
+        before = float(param[0, 0])
+        opt.step("p", param, 0, np.array([1.0]))
+        second_move = float(param[0, 0]) - before
+        assert second_move < first_move
+
+    def test_rare_rows_keep_full_rate(self):
+        """A row updated once still gets a near-full-rate step later —
+        'relatively increases the rate for the rare items'."""
+        param = np.zeros((2, 1))
+        opt = Adagrad(0.1)
+        opt.register("p", param)
+        for _ in range(50):
+            opt.step("p", param, 0, np.array([1.0]))
+        before = param.copy()
+        opt.step("p", param, 0, np.array([1.0]))
+        opt.step("p", param, 1, np.array([1.0]))
+        hot_move = param[0, 0] - before[0, 0]
+        cold_move = param[1, 0] - before[1, 0]
+        assert cold_move > 5 * hot_move
+
+    def test_reset_norms(self):
+        """Incremental runs reset the accumulated norms (section III-C3)."""
+        param = np.zeros((1, 1))
+        opt = Adagrad(0.1)
+        opt.register("p", param)
+        for _ in range(20):
+            opt.step("p", param, 0, np.array([1.0]))
+        assert opt.accumulated_norm("p") > 0
+        opt.reset_norms()
+        assert opt.accumulated_norm("p") == 0.0
+        before = float(param[0, 0])
+        opt.step("p", param, 0, np.array([1.0]))
+        assert param[0, 0] - before == pytest.approx(0.1, abs=1e-6)
+
+    def test_reregister_same_shape_keeps_state(self):
+        param = np.zeros((2, 2))
+        opt = Adagrad(0.1)
+        opt.register("p", param)
+        opt.step("p", param, 0, np.ones(2))
+        opt.register("p", param)
+        assert opt.accumulated_norm("p") > 0
+
+    def test_reregister_shape_mismatch_rejected(self):
+        opt = Adagrad(0.1)
+        opt.register("p", np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            opt.register("p", np.zeros((3, 2)))
+
+    def test_state_size(self):
+        opt = Adagrad(0.1)
+        opt.register("p", np.zeros((10, 4)))
+        assert opt.state_size_bytes() == 10 * 4 * 8
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_optimizer("sgd", 0.1), Sgd)
+        assert isinstance(make_optimizer("adagrad", 0.1), Adagrad)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_optimizer("adam", 0.1)

@@ -1,0 +1,103 @@
+"""Tests for the popularity baseline and the WALS alternative."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.events import EventType, Interaction
+from repro.data.sessions import UserContext
+from repro.exceptions import ConfigError, ModelNotTrainedError
+from repro.models.popularity import PopularityModel
+from repro.models.wals import WALSHyperParams, WALSModel
+
+
+def ctx(*pairs) -> UserContext:
+    return UserContext(
+        tuple(i for _, i in pairs), tuple(e for e, _ in pairs)
+    )
+
+
+class TestPopularity:
+    def log(self):
+        return [
+            Interaction(0.0, 1, 0, EventType.VIEW),
+            Interaction(1.0, 1, 0, EventType.VIEW),
+            Interaction(2.0, 2, 1, EventType.CONVERSION),
+            Interaction(3.0, 3, 2, EventType.VIEW),
+        ]
+
+    def test_event_weights_order_scores(self):
+        model = PopularityModel(4, self.log())
+        # item 1: one conversion (weight 8) > item 0: two views (weight 2)
+        scores = model.score_items(UserContext.empty(), [0, 1, 2, 3])
+        assert scores[1] > scores[0] > scores[2] > scores[3]
+
+    def test_context_ignored(self):
+        model = PopularityModel(4, self.log())
+        a = model.score_items(ctx((EventType.VIEW, 3)), [0, 1])
+        b = model.score_items(UserContext.empty(), [0, 1])
+        assert np.array_equal(a, b)
+
+    def test_popularity_rank(self):
+        model = PopularityModel(4, self.log())
+        assert list(model.popularity_rank()[:2]) == [1, 0]
+
+    def test_head_items_fraction(self):
+        model = PopularityModel(10, self.log())
+        assert len(model.head_items(0.2)) == 2
+        assert len(model.head_items(0.0)) == 1  # at least one
+
+
+class TestWals:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            WALSHyperParams(n_factors=0)
+        with pytest.raises(ConfigError):
+            WALSHyperParams(n_iterations=0)
+
+    def test_scoring_before_fit_rejected(self):
+        model = WALSModel(5, WALSHyperParams(n_factors=2))
+        with pytest.raises(ModelNotTrainedError):
+            model.score_items(ctx((EventType.VIEW, 0)), [1])
+
+    def test_fold_in_empty_context_zero(self, small_dataset):
+        model = WALSModel(small_dataset.n_items, WALSHyperParams(n_factors=4))
+        model.fit(small_dataset.train)
+        assert np.allclose(model.fold_in(UserContext.empty()), 0.0)
+
+    def test_learns_better_than_random(self, small_dataset):
+        """WALS should rank held-out items far above the median."""
+        model = WALSModel(
+            small_dataset.n_items,
+            WALSHyperParams(n_factors=12, n_iterations=6, seed=3),
+        )
+        model.fit(small_dataset.train)
+        ranks = [
+            model.rank_of(example.context, example.held_out_item)
+            for example in small_dataset.holdout[:40]
+        ]
+        assert np.mean(ranks) < small_dataset.n_items / 3
+
+    def test_fold_in_prefers_context_neighbourhood(self, small_dataset):
+        model = WALSModel(
+            small_dataset.n_items, WALSHyperParams(n_factors=8, n_iterations=4)
+        )
+        model.fit(small_dataset.train)
+        context = ctx((EventType.CONVERSION, 5))
+        scores = model.score_items(context, range(small_dataset.n_items))
+        # The context item itself should score near the top: the fold-in
+        # reconstructs a user who strongly prefers it.
+        rank_of_context_item = int(np.sum(scores >= scores[5]))
+        assert rank_of_context_item <= small_dataset.n_items * 0.1
+
+    def test_deterministic(self, small_dataset):
+        def factors():
+            model = WALSModel(
+                small_dataset.n_items,
+                WALSHyperParams(n_factors=4, n_iterations=2, seed=9),
+            )
+            model.fit(small_dataset.train)
+            return model.item_factors.copy()
+
+        assert np.array_equal(factors(), factors())

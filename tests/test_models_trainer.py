@@ -1,0 +1,121 @@
+"""Tests for the BPR training loop and example construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import RetailerDataset
+from repro.data.events import EventType, Interaction
+from repro.data.generator import RetailerSpec, generate_retailer
+from repro.data.split import leave_last_out_split
+from repro.exceptions import DataError
+from repro.models.bpr import BPRHyperParams, BPRModel
+from repro.models.trainer import BPRTrainer
+
+
+def make_dataset(interactions, retailer) -> RetailerDataset:
+    split = leave_last_out_split(interactions)
+    return RetailerDataset(
+        retailer_id=retailer.retailer_id,
+        catalog=retailer.catalog,
+        taxonomy=retailer.taxonomy,
+        train=split.train,
+        holdout=split.holdout,
+    )
+
+
+class TestExampleConstruction:
+    def test_examples_cover_context_windows(self, small_dataset, fresh_model):
+        trainer = BPRTrainer(fresh_model, small_dataset, strength_constraints=False)
+        histories = small_dataset.train_histories()
+        expected = sum(max(0, len(h) - 1) for h in histories.values())
+        assert trainer.n_examples == expected
+
+    def test_strength_constraints_add_examples(self, small_dataset, fresh_model):
+        plain = BPRTrainer(fresh_model, small_dataset, strength_constraints=False)
+        with_constraints = BPRTrainer(
+            fresh_model, small_dataset, strength_constraints=True
+        )
+        assert with_constraints.n_examples > plain.n_examples
+
+    def test_strength_constraint_negative_is_weaker_item(self, tiny_retailer):
+        """The explicit negative of a searched item must be an item the
+        same user touched with a strictly weaker event."""
+        interactions = [
+            Interaction(0.0, 1, 0, EventType.VIEW),
+            Interaction(1.0, 1, 1, EventType.VIEW),
+            Interaction(2.0, 1, 2, EventType.SEARCH),
+            # A trailing view so the leave-last-out split holds THIS one
+            # out and the search event stays in the training data.
+            Interaction(3.0, 1, 3, EventType.VIEW),
+        ]
+        dataset = make_dataset(interactions, tiny_retailer)
+        model = BPRModel(
+            dataset.catalog, dataset.taxonomy, BPRHyperParams(n_factors=4)
+        )
+        trainer = BPRTrainer(model, dataset, strength_constraints=True)
+        explicit = [e for e in trainer.examples if e.negative is not None]
+        assert explicit, "a search>view constraint example should exist"
+        for example in explicit:
+            assert example.positive == 2
+            assert example.negative in {0, 1}
+
+    def test_retailer_mismatch_rejected(self, small_dataset, tiny_dataset):
+        model = BPRModel(
+            tiny_dataset.catalog, tiny_dataset.taxonomy, BPRHyperParams(n_factors=4)
+        )
+        with pytest.raises(DataError):
+            BPRTrainer(model, small_dataset)
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self, small_dataset):
+        model = BPRModel(
+            small_dataset.catalog, small_dataset.taxonomy,
+            BPRHyperParams(n_factors=8, learning_rate=0.08, seed=1),
+        )
+        trainer = BPRTrainer(model, small_dataset, max_epochs=5, seed=2)
+        report = trainer.train()
+        assert report.epochs_run >= 2
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_early_stopping(self, small_dataset):
+        """A huge tolerance makes every epoch 'stale' -> stop at patience."""
+        model = BPRModel(
+            small_dataset.catalog, small_dataset.taxonomy,
+            BPRHyperParams(n_factors=4, seed=5),
+        )
+        trainer = BPRTrainer(
+            model, small_dataset, max_epochs=50, convergence_tol=10.0, patience=2
+        )
+        report = trainer.train()
+        assert report.epochs_run <= 4
+        assert report.converged
+
+    def test_reports_steps(self, small_dataset, fresh_model):
+        trainer = BPRTrainer(fresh_model, small_dataset, max_epochs=2,
+                             convergence_tol=0.0)
+        report = trainer.train()
+        assert report.sgd_steps == report.epochs_run * trainer.n_examples
+
+    def test_deterministic_given_seed(self, small_dataset, default_params):
+        import numpy as np
+
+        def run():
+            model = BPRModel(
+                small_dataset.catalog, small_dataset.taxonomy, default_params
+            )
+            BPRTrainer(model, small_dataset, max_epochs=2, seed=77).train()
+            return model.item_embeddings.copy()
+
+        assert np.array_equal(run(), run())
+
+    def test_empty_dataset_trains_trivially(self, tiny_retailer):
+        dataset = make_dataset([], tiny_retailer)
+        model = BPRModel(
+            dataset.catalog, dataset.taxonomy, BPRHyperParams(n_factors=4)
+        )
+        trainer = BPRTrainer(model, dataset, max_epochs=3)
+        report = trainer.train()
+        assert trainer.n_examples == 0
+        assert report.final_loss == 0.0

@@ -1,0 +1,126 @@
+"""Interface contract tests across every Recommender implementation.
+
+The paper leans on model substitutability ("we can easily substitute
+[BPR] with the least-squares approach", section VI) — everything
+downstream only sees the Recommender interface.  These tests pin the
+contract every implementation must satisfy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.cooccurrence.model import CoOccurrenceModel
+from repro.core.hybrid import HybridRecommender
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.models.popularity import PopularityModel
+from repro.models.wals import WALSHyperParams, WALSModel
+
+
+def build_bpr(dataset, trained_model):
+    return trained_model
+
+
+def build_wals(dataset, trained_model):
+    model = WALSModel(
+        dataset.n_items, WALSHyperParams(n_factors=6, n_iterations=2, seed=1)
+    )
+    model.fit(dataset.train)
+    return model
+
+
+def build_popularity(dataset, trained_model):
+    return PopularityModel(dataset.n_items, dataset.train)
+
+
+def build_cooccurrence(dataset, trained_model):
+    counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
+    return CoOccurrenceModel(counts)
+
+
+def build_hybrid(dataset, trained_model):
+    counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
+    return HybridRecommender(trained_model, CoOccurrenceModel(counts))
+
+
+BUILDERS = {
+    "bpr": build_bpr,
+    "wals": build_wals,
+    "popularity": build_popularity,
+    "cooccurrence": build_cooccurrence,
+    "hybrid": build_hybrid,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(BUILDERS))
+def model(request, small_dataset, trained_model):
+    return BUILDERS[request.param](small_dataset, trained_model)
+
+
+def ctx(*items) -> UserContext:
+    return UserContext(tuple(items), tuple(EventType.VIEW for _ in items))
+
+
+class TestRecommenderContract:
+    def test_score_items_alignment(self, model):
+        """Scores are positionally aligned with the requested items."""
+        items = [5, 1, 9, 30]
+        scores = np.asarray(model.score_items(ctx(2, 7), items))
+        assert scores.shape == (4,)
+        reversed_scores = np.asarray(model.score_items(ctx(2, 7), items[::-1]))
+        assert np.allclose(scores, reversed_scores[::-1])
+
+    def test_scores_finite(self, model):
+        scores = np.asarray(model.score_all(ctx(0, 3)))
+        assert np.all(np.isfinite(scores))
+
+    def test_scores_deterministic(self, model):
+        a = np.asarray(model.score_items(ctx(4), [1, 2, 3]))
+        b = np.asarray(model.score_items(ctx(4), [1, 2, 3]))
+        assert np.array_equal(a, b)
+
+    def test_recommend_sorted_unique_and_bounded(self, model):
+        recs = model.recommend(ctx(6, 8), k=12)
+        items = [r.item_index for r in recs]
+        scores = [r.score for r in recs]
+        assert len(items) == len(set(items))
+        assert len(items) <= 12
+        assert scores == sorted(scores, reverse=True)
+        assert all(0 <= i < model.n_items for i in items)
+
+    def test_recommend_excludes_context_by_default(self, model):
+        recs = model.recommend(ctx(10, 11, 12), k=20)
+        assert not {10, 11, 12} & {r.item_index for r in recs}
+
+    def test_recommend_can_include_context(self, model):
+        recs = model.recommend(ctx(10), k=model.n_items,
+                               exclude_context_items=False)
+        assert len(recs) == model.n_items
+
+    def test_recommend_respects_candidates(self, model):
+        pool = [2, 4, 6, 8]
+        recs = model.recommend(ctx(50), k=3, candidates=pool)
+        assert all(r.item_index in pool for r in recs)
+
+    def test_rank_of_bounds_and_consistency(self, model):
+        context = ctx(1, 2)
+        for target in (0, 17, model.n_items - 1):
+            rank = model.rank_of(context, target)
+            assert 1 <= rank <= model.n_items
+        # The top-scored item must rank 1.
+        scores = np.asarray(model.score_all(context))
+        best = int(np.argmax(scores))
+        assert model.rank_of(context, best) >= 1
+        assert model.rank_of(context, best) <= int(
+            np.sum(scores >= scores[best])
+        )
+
+    def test_rank_of_candidates_subset(self, model):
+        rank = model.rank_of(ctx(3), 5, candidates=[5, 6, 7])
+        assert 1 <= rank <= 3
+
+    def test_empty_candidate_recommend(self, model):
+        assert model.recommend(ctx(1), k=5, candidates=[]) == []

@@ -1,0 +1,127 @@
+"""Tests for the batch-swapped store and the serving path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.exceptions import ServingError
+from repro.models.base import ScoredItem
+from repro.serving.server import RecommendationServer
+from repro.serving.store import RecommendationStore
+
+
+def recs(*pairs):
+    return [ScoredItem(item, score) for item, score in pairs]
+
+
+def loaded_store() -> RecommendationStore:
+    store = RecommendationStore()
+    store.load_batch(
+        "r1",
+        {
+            0: recs((1, 3.0), (2, 2.0), (3, 1.0)),
+            1: recs((4, 5.0), (0, 1.0)),
+            2: [],
+        },
+        version=1,
+    )
+    return store
+
+
+class TestStore:
+    def test_lookup(self):
+        store = loaded_store()
+        assert [r.item_index for r in store.lookup("r1", 0)] == [1, 2, 3]
+
+    def test_lookup_unknown_item_empty(self):
+        store = loaded_store()
+        assert store.lookup("r1", 99) == []
+        assert store.stats.misses == 1
+
+    def test_lookup_unknown_retailer_raises(self):
+        with pytest.raises(ServingError):
+            loaded_store().lookup("other", 0)
+
+    def test_batch_swap_atomic_version(self):
+        store = loaded_store()
+        store.load_batch("r1", {0: recs((9, 1.0))}, version=2)
+        assert [r.item_index for r in store.lookup("r1", 0)] == [9]
+        assert store.lookup("r1", 1) == []  # old table fully replaced
+        assert store.version_of("r1") == 2
+
+    def test_stale_batch_rejected(self):
+        store = loaded_store()
+        with pytest.raises(ServingError):
+            store.load_batch("r1", {}, version=1)
+        with pytest.raises(ServingError):
+            store.load_batch("r1", {}, version=0)
+
+    def test_items_covered(self):
+        assert loaded_store().items_covered("r1") == 2  # item 2 has no recs
+
+    def test_hit_rate(self):
+        store = loaded_store()
+        store.lookup("r1", 0)
+        store.lookup("r1", 99)
+        assert store.stats.hit_rate == pytest.approx(0.5)
+
+    def test_retailers(self):
+        store = loaded_store()
+        store.load_batch("r0", {}, version=1)
+        assert store.retailers() == ["r0", "r1"]
+
+
+class TestServer:
+    def test_empty_context_empty_result(self):
+        server = RecommendationServer(loaded_store())
+        assert server.recommend("r1", UserContext.empty()) == []
+
+    def test_merges_context_lookups(self):
+        server = RecommendationServer(loaded_store())
+        context = UserContext((0, 1), (EventType.VIEW, EventType.VIEW))
+        served = server.recommend("r1", context, k=10)
+        items = [r.item_index for r in served]
+        assert 4 in items  # from item 1's table
+        assert 2 in items  # from item 0's table
+
+    def test_excludes_context_items(self):
+        server = RecommendationServer(loaded_store())
+        context = UserContext((1, 0), (EventType.VIEW, EventType.VIEW))
+        items = {r.item_index for r in server.recommend("r1", context)}
+        assert 0 not in items and 1 not in items
+
+    def test_recency_prefers_recent_source(self):
+        """With equal stored scores, the most recent context item's rec wins."""
+        store = RecommendationStore()
+        store.load_batch(
+            "r", {0: recs((10, 1.0)), 1: recs((11, 1.0))}, version=1
+        )
+        server = RecommendationServer(store, recency_decay=0.5)
+        context = UserContext((0, 1), (EventType.VIEW, EventType.VIEW))
+        served = server.recommend("r", context, k=2)
+        assert served[0].item_index == 11
+        assert served[0].source_item == 1
+
+    def test_event_strength_boosts_source(self):
+        store = RecommendationStore()
+        store.load_batch(
+            "r", {0: recs((10, 1.0)), 1: recs((11, 1.0))}, version=1
+        )
+        server = RecommendationServer(store, recency_decay=1.0)
+        context = UserContext((1, 0), (EventType.CONVERSION, EventType.VIEW))
+        served = server.recommend("r", context, k=2)
+        # Item 1 was converted (weight 2.5) vs item 0 viewed (1.0).
+        assert served[0].item_index == 11
+
+    def test_k_limits_results(self):
+        server = RecommendationServer(loaded_store())
+        context = UserContext((0,), (EventType.VIEW,))
+        assert len(server.recommend("r1", context, k=2)) == 2
+
+    def test_recommend_for_item(self):
+        server = RecommendationServer(loaded_store())
+        served = server.recommend_for_item("r1", 0, k=2)
+        assert [r.item_index for r in served] == [1, 2]
+        assert all(r.source_item == 0 for r in served)

@@ -1,0 +1,119 @@
+"""Tests for the CTR simulator used to reproduce Fig. 6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.cooccurrence.model import CoOccurrenceModel
+from repro.data.datasets import RetailerDataset
+from repro.exceptions import DataError
+from repro.models.popularity import PopularityModel
+from repro.simulation.ctr import (
+    ClickModel,
+    ctr_by_popularity_bucket,
+    simulate_ctr,
+)
+
+
+def build_cooc(dataset):
+    counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
+    return CoOccurrenceModel(counts)
+
+
+class TestClickModel:
+    def test_monotone_in_affinity(self):
+        model = ClickModel()
+        probs = [model.click_probability(a) for a in (-2.0, 0.0, 2.0, 5.0)]
+        assert probs == sorted(probs)
+
+    def test_bounded_by_max_ctr(self):
+        model = ClickModel(max_ctr=0.2)
+        assert 0.0 < model.click_probability(100.0) <= 0.2
+        assert model.click_probability(-100.0) >= 0.0
+
+
+class TestSimulateCtr:
+    def test_counts_accumulate(self, small_dataset):
+        report = simulate_ctr(
+            [small_dataset],
+            {"cooc": build_cooc, "pop": lambda ds: PopularityModel(ds.n_items, ds.train)},
+            requests_per_retailer=50,
+            k=4,
+            seed=1,
+        )
+        assert report.requests == 50
+        for system in ("cooc", "pop"):
+            shown = sum(report.impressions[system].values())
+            clicked = sum(report.clicks[system].values())
+            assert shown > 0
+            assert 0 <= clicked <= shown
+            assert 0.0 <= report.overall_ctr(system) <= 1.0
+
+    def test_better_system_gets_higher_ctr(self, small_dataset, trained_model):
+        """Ground-truth-aligned recommendations must out-click popularity."""
+        report = simulate_ctr(
+            [small_dataset],
+            {
+                "bpr": lambda ds: trained_model,
+                "pop": lambda ds: PopularityModel(ds.n_items, ds.train),
+            },
+            requests_per_retailer=150,
+            k=5,
+            seed=2,
+        )
+        assert report.overall_ctr("bpr") > report.overall_ctr("pop")
+
+    def test_requires_ground_truth(self, small_dataset):
+        stripped = RetailerDataset(
+            retailer_id=small_dataset.retailer_id,
+            catalog=small_dataset.catalog,
+            taxonomy=small_dataset.taxonomy,
+            train=small_dataset.train,
+            holdout=small_dataset.holdout,
+            source=None,
+        )
+        with pytest.raises(DataError):
+            simulate_ctr([stripped], {"cooc": build_cooc}, requests_per_retailer=5)
+
+    def test_deterministic(self, small_dataset):
+        def run():
+            report = simulate_ctr(
+                [small_dataset], {"cooc": build_cooc},
+                requests_per_retailer=40, seed=9,
+            )
+            return report.overall_ctr("cooc")
+
+        assert run() == run()
+
+
+class TestBucketing:
+    def test_buckets_cover_all_items(self, small_dataset):
+        report = simulate_ctr(
+            [small_dataset], {"cooc": build_cooc},
+            requests_per_retailer=60, seed=3,
+        )
+        rows = ctr_by_popularity_bucket(report, "cooc")
+        assert rows, "bucketing should produce at least one row"
+        total_items = sum(items for _, _, _, items in rows)
+        assert total_items == len(report.impressions["cooc"])
+        for _, mean_pop, mean_ctr, _ in rows:
+            assert mean_pop >= 0
+            assert 0.0 <= mean_ctr <= 1.0
+
+    def test_custom_edges(self, small_dataset):
+        report = simulate_ctr(
+            [small_dataset], {"cooc": build_cooc},
+            requests_per_retailer=40, seed=4,
+        )
+        rows = ctr_by_popularity_bucket(
+            report, "cooc", bucket_edges=[0.0, 1.0, float("inf")]
+        )
+        assert 1 <= len(rows) <= 2
+
+    def test_empty_system(self, small_dataset):
+        report = simulate_ctr(
+            [small_dataset], {"cooc": build_cooc},
+            requests_per_retailer=10, seed=5,
+        )
+        assert ctr_by_popularity_bucket(report, "ghost") == []
