@@ -167,6 +167,13 @@ class InferencePipeline:
                     f"before running inference on the new catalog"
                 )
             models[rid] = (best.model_number, best.model)
+            # Prime the effective-item matrix once per loaded model: no
+            # updates happen during inference, so every candidate scoring
+            # call below gathers from the cache instead of re-stacking
+            # per-item feature vectors.
+            prime = getattr(best.model, "effective_item_matrix", None)
+            if prime is not None:
+                prime()
 
         # The mapper keeps "the model for the current retailer in memory";
         # a load is counted whenever consecutive records change retailer.

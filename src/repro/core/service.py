@@ -118,9 +118,18 @@ class SigmundService:
         self._datasets[dataset.retailer_id] = dataset
 
     def offboard(self, retailer_id: str) -> None:
-        """Remove a retailer and every artifact derived from its data."""
+        """Remove a retailer and every artifact derived from its data.
+
+        Besides the dataset and registry entries, this purges the serving
+        tables and the re-purchase detector — all of them are derived from
+        the tenant's interaction data, and the store's privacy framing
+        forbids keeping any of it alive after departure.
+        """
         self._datasets.pop(retailer_id, None)
         self.registry.drop_retailer(retailer_id)
+        self.substitutes_store.drop_retailer(retailer_id)
+        self.accessories_store.drop_retailer(retailer_id)
+        self._repurchase.pop(retailer_id, None)
 
     @property
     def retailers(self) -> List[str]:

@@ -62,12 +62,18 @@ class TrainerSettings:
     n_threads: int = 4
     #: Per-extra-thread efficiency of Hogwild scaling (1.0 = perfectly linear).
     thread_efficiency: float = 0.85
+    #: SGD mini-batch size: 1 runs the scalar reference loop, larger values
+    #: run the vectorized batch path (same regularization/weighting
+    #: semantics; see BPRModel.sgd_step_batch).
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
             raise ConfigError("n_threads must be >= 1")
         if self.sampler not in ("taxonomy", "uniform"):
             raise ConfigError(f"unknown sampler {self.sampler!r}")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
 
     def thread_speedup(self) -> float:
         """Effective speedup of ``n_threads`` Hogwild threads.
@@ -149,6 +155,7 @@ def train_config(
         max_epochs=max_epochs,
         convergence_tol=settings.convergence_tol,
         patience=settings.patience,
+        batch_size=settings.batch_size,
         seed=derive_seed(config.params.seed, "trainer"),
     )
     report = TrainingReport()
@@ -165,7 +172,7 @@ def train_config(
         simulated_now += epoch_seconds
         if checkpoints is not None:
             checkpoints.maybe_checkpoint(config.key, model, simulated_now, epoch)
-    report.converged = report.epochs_run < max_epochs
+    report.converged = trainer.converged
     if checkpoints is not None:
         checkpoints.discard(config.key)
 

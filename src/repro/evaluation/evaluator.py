@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.data.datasets import RetailerDataset
 from repro.evaluation.metrics import (
     auc_from_rank,
@@ -82,10 +84,7 @@ class HoldoutEvaluator:
         if use_sampled:
             ranks = self._sampled_ranks(model)
         else:
-            ranks = [
-                float(model.rank_of(example.context, example.held_out_item))
-                for example in self.dataset.holdout
-            ]
+            ranks = self._exact_ranks(model)
         metrics = self._aggregate(ranks)
         return EvaluationResult(
             retailer_id=self.dataset.retailer_id,
@@ -93,6 +92,24 @@ class HoldoutEvaluator:
             ranks=ranks,
             sampled=use_sampled,
         )
+
+    def _exact_ranks(self, model: Recommender) -> List[float]:
+        """Full-catalog holdout ranks via one ``score_all`` per example.
+
+        Semantically identical to ``rank_of(context, held_out_item)`` over
+        the whole catalog (worst-case rank among ties, diverged scores
+        rank last), but scores through the model's cached effective-item
+        matrix instead of stacking per-item vectors for every example.
+        """
+        ranks: List[float] = []
+        for example in self.dataset.holdout:
+            scores = np.asarray(model.score_all(example.context), dtype=np.float64)
+            target_score = scores[example.held_out_item]
+            if not np.isfinite(target_score):
+                ranks.append(float(scores.size))
+            else:
+                ranks.append(float(np.sum(scores >= target_score)))
+        return ranks
 
     def _sampled_ranks(self, model: Recommender) -> List[float]:
         estimator = SampledRankEstimator(

@@ -71,8 +71,10 @@ def mean_rank_metrics(
 
     ``pool_size`` is the number of items each rank was computed against
     (the catalog size for exact evaluation, the sample size for sampled).
+    ``ranks`` may be any sequence, including a numpy array (whose truth
+    value is ambiguous, hence the explicit length check).
     """
-    if not ranks:
+    if len(ranks) == 0:
         return {
             f"map@{k}": 0.0,
             f"precision@{k}": 0.0,

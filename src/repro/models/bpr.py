@@ -117,6 +117,15 @@ class BPRModel(Recommender):
         self.optimizer: Optimizer = make_optimizer(params.optimizer, params.learning_rate)
         for name, param in self._parameters().items():
             self.optimizer.register(name, param)
+        #: Cached effective-item matrix; ``None`` whenever parameters have
+        #: changed since the last assembly.  Every internal update path
+        #: invalidates it; external code mutating parameter arrays directly
+        #: must call :meth:`invalidate_cache` itself.
+        self._phi_cache: Optional[np.ndarray] = None
+        #: Pool sizes at or above this rebuild the full cache in
+        #: ``score_items`` instead of stacking per item; smaller pools (the
+        #: negative samplers' mid-training calls) stay on the cheap path.
+        self._cache_pool_threshold = 32
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -216,8 +225,18 @@ class BPRModel(Recommender):
             vector += self.price_embeddings[bucket]
         return vector
 
+    def invalidate_cache(self) -> None:
+        """Drop the cached effective-item matrix (call after any update)."""
+        self._phi_cache = None
+
     def effective_item_matrix(self) -> np.ndarray:
-        """Effective vectors for all items at once (used by batch inference)."""
+        """Effective vectors for all items at once (used by batch inference).
+
+        The result is cached until the next parameter update; treat the
+        returned array as read-only.
+        """
+        if self._phi_cache is not None:
+            return self._phi_cache
         matrix = self.item_embeddings.copy()
         if self._anc_rows.size:
             lengths = np.diff(self._anc_indptr)
@@ -231,7 +250,32 @@ class BPRModel(Recommender):
             matrix[has_price] += self.price_embeddings[
                 self._item_price_bucket[has_price]
             ]
+        self._phi_cache = matrix
         return matrix
+
+    def effective_item_vectors(self, items: np.ndarray) -> np.ndarray:
+        """Effective vectors for a batch of item indices (``len(items) x F``).
+
+        Vectorized equivalent of stacking :meth:`effective_item_vector`
+        calls: one gather per feature table instead of Python-level loops.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        vectors = self.item_embeddings[items].copy()
+        starts = self._anc_indptr[items]
+        counts = self._anc_indptr[items + 1] - starts
+        if counts.sum() > 0:
+            owners = np.repeat(np.arange(items.size), counts)
+            ancestors = self._anc_rows[concat_ranges(starts, counts)]
+            np.add.at(vectors, owners, self.taxonomy_embeddings[ancestors])
+        brands = self._item_brand[items]
+        has_brand = brands >= 0
+        if has_brand.any():
+            vectors[has_brand] += self.brand_embeddings[brands[has_brand]]
+        buckets = self._item_price_bucket[items]
+        has_price = buckets >= 0
+        if has_price.any():
+            vectors[has_price] += self.price_embeddings[buckets[has_price]]
+        return vectors
 
     def context_weights(self, context: UserContext) -> np.ndarray:
         """Decayed (and optionally event-weighted) weights, normalized to 1."""
@@ -261,8 +305,13 @@ class BPRModel(Recommender):
         self, context: UserContext, item_indices: Sequence[int]
     ) -> np.ndarray:
         items = np.asarray(list(item_indices), dtype=np.int64)
+        if items.size == 0:
+            return np.zeros(0, dtype=np.float64)
         user = self.user_embedding(context)
-        vectors = np.stack([self.effective_item_vector(int(i)) for i in items])
+        if self._phi_cache is not None or items.size >= self._cache_pool_threshold:
+            vectors = self.effective_item_matrix()[items]
+        else:
+            vectors = self.effective_item_vectors(items)
         return vectors @ user + self.item_bias[items]
 
     def score_all(self, context: UserContext) -> np.ndarray:
@@ -307,7 +356,132 @@ class BPRModel(Recommender):
             for weight, row in zip(weights, context.item_indices):
                 grad = weight * delta - params.reg_context * self.context_embeddings[row]
                 opt.step("context", self.context_embeddings, row, grad)
+        self.invalidate_cache()
         return float(np.log1p(np.exp(-z_clipped)))
+
+    def sgd_step_batch(
+        self,
+        contexts_csr: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        positives: np.ndarray,
+        negatives: np.ndarray,
+    ) -> np.ndarray:
+        """Mini-batch BPR update; returns the per-example log losses.
+
+        ``contexts_csr`` is ``(indptr, rows, weights)``: example ``b``'s
+        context occupies ``rows[indptr[b]:indptr[b+1]]`` with the matching
+        (decayed, event-weighted, normalized) ``weights`` — exactly what
+        :meth:`context_weights` produces per example.
+
+        All gradients are evaluated at the pre-batch parameters and
+        scattered with ``np.add.at`` (duplicate rows sum), so a batch of
+        one non-colliding triple reproduces :meth:`sgd_step` bit-for-bit
+        while larger batches follow standard mini-batch semantics.
+        """
+        indptr, ctx_rows, ctx_weights = contexts_csr
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        batch = positives.size
+        if indptr.size != batch + 1 or negatives.size != batch:
+            raise ValueError(
+                f"batch shape mismatch: {batch} positives, {negatives.size} "
+                f"negatives, indptr of size {indptr.size} (want batch + 1)"
+            )
+        if batch == 0:
+            return np.zeros(0, dtype=np.float64)
+
+        # User embeddings (Eq. 1), one segment-sum per batch.
+        counts = np.diff(indptr)
+        users = np.zeros((batch, self.params.n_factors))
+        if ctx_rows.size:
+            owners = np.repeat(np.arange(batch), counts)
+            np.add.at(
+                users,
+                owners,
+                ctx_weights[:, None] * self.context_embeddings[ctx_rows],
+            )
+
+        phi_pos = self.effective_item_vectors(positives)
+        phi_neg = self.effective_item_vectors(negatives)
+        z = np.einsum("bf,bf->b", users, phi_pos - phi_neg) + (
+            self.item_bias[positives] - self.item_bias[negatives]
+        )
+        z_clipped = np.clip(z, -35.0, 35.0)
+        e = 1.0 / (1.0 + np.exp(z_clipped))  # sigma(-z), per example
+
+        params = self.params
+        opt = self.optimizer
+        scaled_user = e[:, None] * users  # (B, F)
+
+        # Item embeddings: positive rows ascend, negative rows descend.
+        item_rows = np.concatenate([positives, negatives])
+        item_grads = np.concatenate(
+            [
+                scaled_user - params.reg_item * self.item_embeddings[positives],
+                -scaled_user - params.reg_item * self.item_embeddings[negatives],
+            ]
+        )
+        opt.step_rows("item", self.item_embeddings, item_rows, item_grads)
+
+        # Feature tables: each item side distributes the same gradient over
+        # its taxonomy/brand/price rows.
+        self._step_feature_rows(positives, scaled_user, +1.0)
+        self._step_feature_rows(negatives, scaled_user, -1.0)
+
+        bias_rows = np.concatenate([positives, negatives])
+        bias_grads = np.concatenate(
+            [
+                e - params.reg_bias * self.item_bias[positives],
+                -e - params.reg_bias * self.item_bias[negatives],
+            ]
+        )
+        opt.step_rows("bias", self.item_bias, bias_rows, bias_grads)
+
+        # Context side: the gradient of u distributes over context rows.
+        if ctx_rows.size:
+            delta = e[:, None] * (phi_pos - phi_neg)  # (B, F)
+            ctx_grads = (
+                ctx_weights[:, None] * delta[owners]
+                - params.reg_context * self.context_embeddings[ctx_rows]
+            )
+            opt.step_rows("context", self.context_embeddings, ctx_rows, ctx_grads)
+
+        self.invalidate_cache()
+        return np.log1p(np.exp(-z_clipped))
+
+    def _step_feature_rows(
+        self, items: np.ndarray, scaled_user: np.ndarray, sign: float
+    ) -> None:
+        """Batched feature-table updates for one item side of the triples."""
+        params = self.params
+        opt = self.optimizer
+        starts = self._anc_indptr[items]
+        counts = self._anc_indptr[items + 1] - starts
+        if counts.sum() > 0:
+            owners = np.repeat(np.arange(items.size), counts)
+            rows = self._anc_rows[concat_ranges(starts, counts)]
+            grads = (
+                sign * scaled_user[owners]
+                - params.reg_features * self.taxonomy_embeddings[rows]
+            )
+            opt.step_rows("taxonomy", self.taxonomy_embeddings, rows, grads)
+        brands = self._item_brand[items]
+        has_brand = brands >= 0
+        if has_brand.any():
+            rows = brands[has_brand]
+            grads = (
+                sign * scaled_user[has_brand]
+                - params.reg_features * self.brand_embeddings[rows]
+            )
+            opt.step_rows("brand", self.brand_embeddings, rows, grads)
+        buckets = self._item_price_bucket[items]
+        has_price = buckets >= 0
+        if has_price.any():
+            rows = buckets[has_price]
+            grads = (
+                sign * scaled_user[has_price]
+                - params.reg_features * self.price_embeddings[rows]
+            )
+            opt.step_rows("price", self.price_embeddings, rows, grads)
 
     def _update_item_side(self, item_index: int, scaled_user: np.ndarray, sign: float) -> None:
         """Distribute the item-side gradient over embedding + feature rows."""
@@ -352,6 +526,7 @@ class BPRModel(Recommender):
                     f"model expects {param.shape}"
                 )
             param[...] = state[name]
+        self.invalidate_cache()
 
     def warm_start_from(self, other: "BPRModel") -> int:
         """Copy overlapping parameter rows from a previous day's model.
@@ -378,6 +553,7 @@ class BPRModel(Recommender):
             if name == "item":
                 copied = rows
         self.optimizer.reset_norms()
+        self.invalidate_cache()
         return copied
 
     def memory_bytes(self) -> int:
@@ -386,6 +562,25 @@ class BPRModel(Recommender):
             sum(param.nbytes for param in self._parameters().values())
             + self.optimizer.state_size_bytes()
         )
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for each ``(s, c)`` pair, vectorized.
+
+    The standard CSR multi-range gather: for starts ``[2, 7]`` and counts
+    ``[3, 2]`` the result is ``[2, 3, 4, 7, 8]``.  Used to pull many items'
+    ancestor slices (or many examples' context slices) in one shot.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts  # start offset of each range
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(np.asarray(starts, dtype=np.int64), counts)
+    )
 
 
 def _price_bucket_edges(prices: np.ndarray, n_buckets: int) -> np.ndarray:

@@ -41,6 +41,20 @@ class Optimizer(abc.ABC):
     def step(self, name: str, param: np.ndarray, row: int, grad: np.ndarray) -> None:
         """Apply ``grad`` (ascent direction) to ``param[row]`` in place."""
 
+    @abc.abstractmethod
+    def step_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        """Apply one gradient per entry of ``rows`` to ``param`` in place.
+
+        ``rows`` may contain duplicates (two triples in a mini-batch can
+        touch the same embedding row); duplicate contributions are summed
+        with ``np.add.at``, so the result is deterministic regardless of
+        ordering.  All gradients are taken as evaluated at the pre-batch
+        parameters — standard mini-batch semantics.  With a single row
+        this is exactly :meth:`step`.
+        """
+
     def reset_norms(self) -> None:
         """Forget any accumulated state (no-op unless the optimizer has some)."""
 
@@ -58,6 +72,11 @@ class Sgd(Optimizer):
 
     def step(self, name: str, param: np.ndarray, row: int, grad: np.ndarray) -> None:
         param[row] += self.learning_rate * grad
+
+    def step_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        np.add.at(param, rows, self.learning_rate * grads)
 
 
 class Adagrad(Optimizer):
@@ -86,6 +105,17 @@ class Adagrad(Optimizer):
         acc = self._accumulators[name]
         acc[row] += np.square(grad)
         param[row] += self.learning_rate * grad / (np.sqrt(acc[row]) + self.epsilon)
+
+    def step_rows(
+        self, name: str, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        acc = self._accumulators[name]
+        np.add.at(acc, rows, np.square(grads))
+        # The adaptive rate reads the accumulator *after* the whole batch's
+        # squared mass lands, so a row hit twice in one batch is damped for
+        # both contributions — per-row adaptivity survives vectorization.
+        scaled = grads / (np.sqrt(acc[rows]) + self.epsilon)
+        np.add.at(param, rows, self.learning_rate * scaled)
 
     def reset_norms(self) -> None:
         """Zero all accumulated squared-gradient norms.

@@ -26,8 +26,8 @@ import numpy as np
 from repro.data.datasets import RetailerDataset
 from repro.data.events import EVENT_STRENGTH_ORDER, EventType
 from repro.data.sessions import UserContext, context_windows
-from repro.exceptions import DataError
-from repro.models.bpr import BPRModel
+from repro.exceptions import ConfigError, DataError
+from repro.models.bpr import BPRModel, concat_ranges
 from repro.models.negatives import NegativeSampler, UniformNegativeSampler
 from repro.rng import SeedLike, make_rng
 
@@ -39,6 +39,36 @@ class TrainingExample:
     context: UserContext
     positive: int
     negative: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CompiledExamples:
+    """The example list flattened into numpy arrays, built once per trainer.
+
+    Contexts are CSR: example ``b`` owns ``ctx_rows[indptr[b]:indptr[b+1]]``
+    with the matching precomputed context weights (decay and event
+    weighting are functions of the context alone, so weights are
+    batch-invariant).  ``negatives`` holds fixed strength-constraint
+    negatives, ``-1`` where the sampler draws one per epoch.
+    """
+
+    indptr: np.ndarray
+    ctx_rows: np.ndarray
+    ctx_weights: np.ndarray
+    positives: np.ndarray
+    negatives: np.ndarray
+
+    def gather(
+        self, batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sub-CSR ``(indptr, rows, weights)`` for the selected examples."""
+        starts = self.indptr[batch]
+        counts = self.indptr[batch + 1] - starts
+        flat = concat_ranges(starts, counts)
+        sub_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        return sub_indptr, self.ctx_rows[flat], self.ctx_weights[flat]
 
 
 @dataclass
@@ -67,6 +97,7 @@ class BPRTrainer:
         convergence_tol: float = 1e-3,
         patience: int = 2,
         strength_constraints: bool = True,
+        batch_size: int = 1,
         seed: SeedLike = None,
     ):
         if dataset.retailer_id != model.retailer_id:
@@ -74,6 +105,8 @@ class BPRTrainer:
                 f"model for {model.retailer_id!r} cannot train on "
                 f"{dataset.retailer_id!r} data"
             )
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
         self.model = model
         self.dataset = dataset
         self.sampler = sampler or UniformNegativeSampler(model.n_items)
@@ -81,8 +114,14 @@ class BPRTrainer:
         self.convergence_tol = convergence_tol
         self.patience = patience
         self.strength_constraints = strength_constraints
+        #: ``1`` keeps the scalar reference loop; larger values run the
+        #: vectorized mini-batch path (same regularization and weighting
+        #: semantics, gradients evaluated at pre-batch parameters).
+        self.batch_size = batch_size
         self._rng = make_rng(seed if seed is not None else model.params.seed)
+        self._converged = False
         self.examples: List[TrainingExample] = self._build_examples()
+        self.compiled: CompiledExamples = self._compile_examples()
 
     # ------------------------------------------------------------------
     # Example construction
@@ -145,6 +184,38 @@ class BPRTrainer:
             return None
         return pool[int(self._rng.integers(len(pool)))]
 
+    def _compile_examples(self) -> CompiledExamples:
+        """Flatten the example list into the arrays the batch path consumes."""
+        indptr = np.zeros(len(self.examples) + 1, dtype=np.int64)
+        ctx_rows: List[np.ndarray] = []
+        ctx_weights: List[np.ndarray] = []
+        positives = np.zeros(len(self.examples), dtype=np.int64)
+        negatives = np.full(len(self.examples), -1, dtype=np.int64)
+        for position, example in enumerate(self.examples):
+            context = example.context
+            indptr[position + 1] = indptr[position] + len(context)
+            if len(context) > 0:
+                ctx_rows.append(
+                    np.asarray(context.item_indices, dtype=np.int64)
+                )
+                ctx_weights.append(self.model.context_weights(context))
+            positives[position] = example.positive
+            if example.negative is not None:
+                negatives[position] = example.negative
+        return CompiledExamples(
+            indptr=indptr,
+            ctx_rows=(
+                np.concatenate(ctx_rows)
+                if ctx_rows
+                else np.zeros(0, dtype=np.int64)
+            ),
+            ctx_weights=(
+                np.concatenate(ctx_weights) if ctx_weights else np.zeros(0)
+            ),
+            positives=positives,
+            negatives=negatives,
+        )
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
@@ -152,6 +223,12 @@ class BPRTrainer:
         """One pass over all examples in random order; returns mean loss."""
         if not self.examples:
             return 0.0
+        if self.batch_size <= 1:
+            return self._run_epoch_scalar()
+        return self._run_epoch_batched()
+
+    def _run_epoch_scalar(self) -> float:
+        """The reference loop: one Python-level ``sgd_step`` per triple."""
         order = self._rng.permutation(len(self.examples))
         total = 0.0
         for position in order:
@@ -164,25 +241,67 @@ class BPRTrainer:
             total += self.model.sgd_step(example.context, example.positive, negative)
         return total / len(self.examples)
 
+    def _run_epoch_batched(self) -> float:
+        """The vectorized loop: one ``sgd_step_batch`` per mini-batch."""
+        compiled = self.compiled
+        n = len(self.examples)
+        order = self._rng.permutation(n)
+        total = 0.0
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            negatives = compiled.negatives[batch].copy()
+            for offset in np.flatnonzero(negatives < 0):
+                example = self.examples[batch[offset]]
+                negatives[offset] = self.sampler.sample(
+                    example.context, example.positive, self._rng
+                )
+            losses = self.model.sgd_step_batch(
+                compiled.gather(batch), compiled.positives[batch], negatives
+            )
+            total += float(losses.sum())
+        return total / n
+
     def iter_epochs(self) -> Iterator[Tuple[int, float]]:
         """Yield ``(epoch_index, mean_loss)`` after each epoch until done.
 
         Stops after ``max_epochs`` or once the relative loss improvement
         stays below ``convergence_tol`` for ``patience`` consecutive
-        epochs.  The caller may simply stop consuming the iterator at any
-        point (e.g. on simulated pre-emption).
+        epochs; :attr:`converged` records which happened.  An empty example
+        list yields a single zero-loss epoch instead of spinning through
+        ``max_epochs``.  The caller may simply stop consuming the iterator
+        at any point (e.g. on simulated pre-emption).
         """
+        self._converged = False
+        if not self.examples:
+            self._converged = True
+            yield 0, 0.0
+            return
         stale = 0
         previous = float("inf")
         for epoch in range(self.max_epochs):
             loss = self.run_epoch()
             yield epoch, loss
-            if previous != float("inf") and previous > 0:
-                improvement = (previous - loss) / previous
+            if previous != float("inf"):
+                # At zero loss there is nothing left to improve: count the
+                # epoch as stale rather than spinning to max_epochs.
+                improvement = (
+                    (previous - loss) / previous if previous > 0 else 0.0
+                )
                 stale = stale + 1 if improvement < self.convergence_tol else 0
             previous = loss
             if stale >= self.patience:
+                self._converged = True
                 return
+
+    @property
+    def converged(self) -> bool:
+        """Whether the last run stopped on the convergence criterion.
+
+        Tracked explicitly by :meth:`iter_epochs` — a run that converges
+        exactly on the final epoch is converged, unlike the old
+        ``epochs_run < max_epochs`` inference.
+        """
+        return self._converged
 
     def train(self) -> TrainingReport:
         """Run to convergence (or ``max_epochs``) and report."""
@@ -191,7 +310,7 @@ class BPRTrainer:
             report.epochs_run = epoch + 1
             report.sgd_steps += len(self.examples)
             report.epoch_losses.append(loss)
-        report.converged = report.epochs_run < self.max_epochs
+        report.converged = self._converged
         return report
 
     @property

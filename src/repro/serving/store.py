@@ -75,6 +75,16 @@ class RecommendationStore:
         self._tables[retailer_id] = table
         self.stats.batches_loaded += 1
 
+    def drop_retailer(self, retailer_id: str) -> None:
+        """Delete a retailer's table outright (offboarding purge).
+
+        Subsequent lookups raise :class:`ServingError` exactly like a
+        retailer that was never loaded — a departed tenant must not be
+        served stale recommendations.  Dropping an unknown retailer is a
+        no-op so offboarding stays idempotent.
+        """
+        self._tables.pop(retailer_id, None)
+
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------

@@ -140,6 +140,35 @@ class TestService:
         assert victim not in service.retailers
         assert not service.registry.has_models(victim)
 
+    def test_offboard_purges_serving_and_repurchase(self):
+        """Regression: offboarding used to leave the departed tenant's
+        serving tables and re-purchase detector alive — stale data that
+        contradicts the store's privacy framing."""
+        from repro.exceptions import ServingError
+
+        service = tiny_service()
+        service.run_day()
+        victim = service.retailers[0]
+        survivor = service.retailers[1]
+        assert service.substitutes_store.has_retailer(victim)
+        assert service.accessories_store.has_retailer(victim)
+        service.offboard(victim)
+        assert not service.substitutes_store.has_retailer(victim)
+        assert not service.accessories_store.has_retailer(victim)
+        with pytest.raises(ServingError):
+            service.substitutes_store.lookup(victim, 0)
+        with pytest.raises(ServingError):
+            service.accessories_store.lookup(victim, 0)
+        with pytest.raises(DataError):
+            service.repurchase_recommendations(victim, user_id=0)
+        # The surviving tenant is untouched.
+        assert service.substitutes_store.has_retailer(survivor)
+
+    def test_offboard_unknown_retailer_is_noop(self):
+        service = tiny_service(n_retailers=1)
+        service.offboard("never_onboarded")  # must not raise
+        assert service.retailers == ["svc_0"]
+
     def test_mid_stream_onboarding_gets_full_grid(self):
         service = tiny_service(n_retailers=1)
         service.run_day()

@@ -69,6 +69,16 @@ class TestMetrics:
         assert metrics["map@10"] == 0.0
         assert metrics["examples"] == 0.0
 
+    def test_mean_rank_metrics_accepts_numpy_arrays(self):
+        """Regression: a numpy ``ranks`` array used to raise 'truth value
+        of an array is ambiguous' in the emptiness check."""
+        import numpy as np
+
+        metrics = mean_rank_metrics(np.array([1, 2, 20]), pool_size=100, k=10)
+        assert metrics == mean_rank_metrics([1, 2, 20], pool_size=100, k=10)
+        empty = mean_rank_metrics(np.zeros(0, dtype=np.int64), pool_size=10)
+        assert empty["examples"] == 0.0
+
 
 @settings(max_examples=40, deadline=None)
 @given(

@@ -249,3 +249,15 @@ class TestRecommenderInterface:
     def test_rank_of_missing_target_rejected(self, trained_model):
         with pytest.raises(ValueError):
             trained_model.rank_of(ctx(1), 5, candidates=[1, 2, 3])
+
+    def test_score_items_empty_pool(self, trained_model):
+        """Regression: an empty candidate pool must score to an empty
+        array, not crash in np.stack."""
+        scores = trained_model.score_items(ctx(1, 2), [])
+        assert isinstance(scores, np.ndarray)
+        assert scores.shape == (0,)
+        assert scores.dtype == np.float64
+
+    def test_recommend_with_fully_excluded_pool(self, trained_model):
+        """All candidates in the context -> empty recommendation list."""
+        assert trained_model.recommend(ctx(1, 2), candidates=[1, 2]) == []

@@ -95,6 +95,60 @@ class TestAdagrad:
         assert opt.state_size_bytes() == 10 * 4 * 8
 
 
+class TestStepRows:
+    """The batched row updater backing the vectorized training path."""
+
+    def test_sgd_single_row_matches_step(self):
+        a, b = np.zeros((4, 3)), np.zeros((4, 3))
+        opt_a, opt_b = Sgd(0.3), Sgd(0.3)
+        opt_a.register("p", a)
+        opt_b.register("p", b)
+        grad = np.array([1.0, -2.0, 0.5])
+        opt_a.step("p", a, 2, grad)
+        opt_b.step_rows("p", b, np.array([2]), grad[None, :])
+        assert np.array_equal(a, b)
+
+    def test_adagrad_single_row_matches_step(self):
+        a, b = np.zeros((4, 3)), np.zeros((4, 3))
+        opt_a, opt_b = Adagrad(0.3), Adagrad(0.3)
+        opt_a.register("p", a)
+        opt_b.register("p", b)
+        for grad in (np.array([1.0, -2.0, 0.5]), np.array([0.2, 0.1, -3.0])):
+            opt_a.step("p", a, 2, grad)
+            opt_b.step_rows("p", b, np.array([2]), grad[None, :])
+        assert np.allclose(a, b, atol=1e-15)
+        assert opt_a.accumulated_norm("p") == pytest.approx(
+            opt_b.accumulated_norm("p")
+        )
+
+    def test_sgd_duplicate_rows_sum(self):
+        param = np.zeros((2, 1))
+        opt = Sgd(1.0)
+        opt.register("p", param)
+        opt.step_rows(
+            "p", param, np.array([0, 0]), np.array([[1.0], [2.0]])
+        )
+        assert param[0, 0] == pytest.approx(3.0)  # add.at, not last-write-wins
+
+    def test_adagrad_duplicate_rows_accumulate_before_scaling(self):
+        """Both occurrences of a duplicated row are damped by the full
+        batch's squared mass — per-row adaptivity survives batching."""
+        param = np.zeros((1, 1))
+        opt = Adagrad(1.0, epsilon=0.0)
+        opt.register("p", param)
+        opt.step_rows("p", param, np.array([0, 0]), np.array([[3.0], [4.0]]))
+        assert opt.accumulated_norm("p") == pytest.approx(25.0)
+        assert param[0, 0] == pytest.approx((3.0 + 4.0) / 5.0)
+
+    def test_step_rows_on_1d_bias(self):
+        bias = np.zeros(5)
+        opt = Adagrad(0.5)
+        opt.register("b", bias)
+        opt.step_rows("b", bias, np.array([1, 3]), np.array([2.0, -2.0]))
+        assert bias[1] > 0 and bias[3] < 0
+        assert bias[0] == bias[2] == bias[4] == 0.0
+
+
 class TestFactory:
     def test_kinds(self):
         assert isinstance(make_optimizer("sgd", 0.1), Sgd)

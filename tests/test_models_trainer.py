@@ -119,3 +119,59 @@ class TestTrainingLoop:
         report = trainer.train()
         assert trainer.n_examples == 0
         assert report.final_loss == 0.0
+
+    def test_empty_examples_short_circuit(self, tiny_retailer):
+        """Regression: an empty example list must not spin through all
+        max_epochs — one trivial epoch, reported as converged."""
+        dataset = make_dataset([], tiny_retailer)
+        model = BPRModel(
+            dataset.catalog, dataset.taxonomy, BPRHyperParams(n_factors=4)
+        )
+        trainer = BPRTrainer(model, dataset, max_epochs=50)
+        epochs = list(trainer.iter_epochs())
+        assert epochs == [(0, 0.0)]
+        assert trainer.converged
+        report = trainer.train()
+        assert report.epochs_run == 1
+        assert report.converged
+
+    def test_converged_on_final_epoch_is_reported(self, small_dataset):
+        """Regression: hitting the convergence criterion exactly on the
+        last allowed epoch used to be misreported as not-converged by the
+        old ``epochs_run < max_epochs`` inference."""
+        model = BPRModel(
+            small_dataset.catalog, small_dataset.taxonomy,
+            BPRHyperParams(n_factors=4, seed=5),
+        )
+        # tol=inf makes every epoch stale: stale reaches patience=2 right
+        # after the third epoch — exactly max_epochs.
+        trainer = BPRTrainer(
+            model, small_dataset, max_epochs=3, convergence_tol=float("inf"),
+            patience=2,
+        )
+        report = trainer.train()
+        assert report.epochs_run == 3
+        assert report.converged
+
+    def test_zero_loss_epochs_converge(self, small_dataset, fresh_model,
+                                       monkeypatch):
+        """Regression: at loss 0.0 the old ``previous > 0`` guard froze
+        ``stale`` forever and the loop ran all max_epochs."""
+        trainer = BPRTrainer(fresh_model, small_dataset, max_epochs=50, patience=2)
+        monkeypatch.setattr(trainer, "run_epoch", lambda: 0.0)
+        epochs = list(trainer.iter_epochs())
+        assert len(epochs) == 3  # first epoch + patience stale epochs
+        assert trainer.converged
+
+    def test_not_converged_when_budget_exhausted(self, small_dataset):
+        """A run that stops only because max_epochs ran out is not converged."""
+        model = BPRModel(
+            small_dataset.catalog, small_dataset.taxonomy,
+            BPRHyperParams(n_factors=4, seed=5),
+        )
+        trainer = BPRTrainer(
+            model, small_dataset, max_epochs=2, convergence_tol=0.0, patience=2
+        )
+        report = trainer.train()
+        assert report.epochs_run == 2
+        assert not report.converged
