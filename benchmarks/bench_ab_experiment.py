@@ -12,7 +12,6 @@ with a two-proportion z-test.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from benchmarks.conftest import build_cooccurrence, build_hybrid

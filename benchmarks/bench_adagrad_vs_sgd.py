@@ -11,7 +11,6 @@ robustness: how much final quality varies with the learning-rate choice.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.evaluation.evaluator import HoldoutEvaluator

@@ -17,7 +17,6 @@ vs all-pairs scoring.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.core.binpack import (

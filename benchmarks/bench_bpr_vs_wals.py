@@ -13,7 +13,6 @@ not an engineering project.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro import build_cluster

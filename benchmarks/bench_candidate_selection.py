@@ -16,7 +16,6 @@ and (c) recall per thousand candidates (precision-of-effort) across k.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.cooccurrence.counts import CoOccurrenceCounts

@@ -16,7 +16,6 @@ fixed 300s wall-clock policy, mean lost work per pre-emption stays flat.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.cluster.execution import run_with_preemptions

@@ -12,7 +12,6 @@ and pre-emptions — the operational series a Sigmund dashboard would show.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro import GridSpec, SigmundService, TrainerSettings, build_cluster

@@ -1,0 +1,131 @@
+"""E21 — fleet availability under injected per-retailer failures.
+
+The paper's operational pitch is that Sigmund solves *thousands* of
+recommendation problems daily — which only works if one tenant's bad day
+cannot take the fleet down.  This experiment injects deterministic
+training faults (via :class:`FaultPlan`) into a growing fraction of the
+fleet from day 1 onward and measures what the serving tier sees: how
+many retailers serve fresh tables, how many degrade to yesterday's
+(stale), and how many are unserved.
+
+The headline: with per-task failure isolation, availability stays 1.0 at
+every failure rate — failed retailers serve stale tables instead of
+erroring — where the pre-isolation runtime aborted the whole daily sweep
+on the first bad record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_util import emit, fmt_row
+from repro import FaultPlan, GridSpec, SigmundService, TrainerSettings, build_cluster
+from repro.data.datasets import dataset_from_synthetic
+from repro.data.generator import MarketplaceSpec, generate_marketplace
+
+SETTINGS = TrainerSettings(
+    max_epochs_full=2, max_epochs_incremental=1, sampler="uniform"
+)
+
+GRID = GridSpec(
+    n_factors=(8,),
+    learning_rates=(0.05, 0.1),
+    reg_items=(0.01,),
+    reg_contexts=(0.01,),
+    use_taxonomy=(False,),
+    use_brand=(False,),
+    use_price=(False,),
+    max_configs=2,
+)
+
+N_RETAILERS = 6
+N_DAYS = 3
+
+
+def build_service(fault_plan=None) -> SigmundService:
+    service = SigmundService(
+        build_cluster(n_cells=2, machines_per_cell=6),
+        grid=GRID,
+        settings=SETTINGS,
+        top_k_incremental=2,
+        fault_plan=fault_plan,
+    )
+    fleet = generate_marketplace(
+        MarketplaceSpec(
+            n_retailers=N_RETAILERS, median_items=50, sigma_items=0.6,
+            users_per_item=0.6, events_per_user=8.0, seed=55,
+        )
+    )
+    for retailer in fleet:
+        service.onboard(dataset_from_synthetic(retailer))
+    return service
+
+
+def failing_plan(failing, from_day):
+    """Fail every training config of the given retailers from a day on."""
+    return FaultPlan().fail_mapper(
+        lambda r: getattr(r, "retailer_id", None) in failing
+        and getattr(r, "day", 0) >= from_day
+    )
+
+
+def run_scenario(n_failing: int, from_day: int = 1):
+    probe = build_service()
+    failing = set(probe.retailers[:n_failing])
+    service = build_service(failing_plan(failing, from_day))
+    reports = [service.run_day() for _ in range(N_DAYS)]
+    freshness = service.substitutes_store.freshness(service.retailers, N_DAYS)
+    counts = {
+        state: sum(1 for s in freshness.values() if s == state)
+        for state in ("fresh", "stale", "unserved")
+    }
+    return service, reports, counts
+
+
+def test_fleet_availability_under_failures(benchmark, capsys):
+    lines = [
+        f"{N_RETAILERS} retailers, {N_DAYS} days; injected training faults "
+        "from day 1 on:",
+        fmt_row("failing", "fresh", "stale", "unserved", "avail", "cfg_failed",
+                "alerts", widths=[8, 6, 6, 9, 7, 11, 7]),
+    ]
+    worst = None
+    for n_failing in (0, 2, 4):
+        service, reports, counts = run_scenario(n_failing)
+        last = reports[-1]
+        lines.append(
+            fmt_row(
+                f"{n_failing}/{N_RETAILERS}", counts["fresh"], counts["stale"],
+                counts["unserved"], f"{last.availability:.2f}",
+                sum(r.configs_failed for r in reports),
+                sum(r.alerts for r in reports),
+                widths=[8, 6, 6, 9, 7, 11, 7],
+            )
+        )
+        # Day 0 built everyone a table, so failures degrade to stale
+        # serving — never to an unserved retailer.
+        assert counts["unserved"] == 0
+        assert counts["stale"] == n_failing
+        assert counts["fresh"] == N_RETAILERS - n_failing
+        assert last.availability == 1.0
+        assert last.retailers_served + last.retailers_stale == N_RETAILERS
+        worst = service
+
+    # Day-0 failures are the one case a retailer goes unserved: it never
+    # had a table to fall back on.  The day still completes for the rest.
+    service, reports, counts = run_scenario(2, from_day=0)
+    lines.append("")
+    lines.append(
+        f"day-0 failures (2/{N_RETAILERS}): {counts['fresh']} fresh, "
+        f"{counts['unserved']} unserved, availability "
+        f"{reports[-1].availability:.2f}"
+    )
+    assert counts["unserved"] == 2
+    assert reports[-1].availability == pytest.approx(
+        (N_RETAILERS - 2) / N_RETAILERS
+    )
+
+    emit("E21", "fleet availability under injected failures", lines, capsys)
+
+    # Timing kernel: one degraded day (4/6 retailers failing).
+    benchmark(lambda: worst.run_day())

@@ -11,8 +11,6 @@ report the best/median/worst holdout MAP@10 plus the best/worst ratio.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.core.config import ConfigRecord

@@ -20,7 +20,6 @@ Three measurements:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.cluster.cost import ResourcePricing

@@ -18,7 +18,6 @@ from __future__ import annotations
 from collections import Counter
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from benchmarks.conftest import build_cooccurrence, build_hybrid

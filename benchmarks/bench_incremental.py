@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.core.config import ConfigRecord

@@ -16,7 +16,6 @@ traffic) and compare, on each day's holdout:
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.core.config import ConfigRecord

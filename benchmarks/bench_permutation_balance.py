@@ -15,7 +15,6 @@ worker load imbalance and makespan.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.cluster.preemption import PreemptionModel

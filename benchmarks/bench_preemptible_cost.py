@@ -12,7 +12,6 @@ uptime that the discount starts eroding.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.cluster.cost import ResourcePricing

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 import itertools
 
-import numpy as np
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from benchmarks.conftest import train_bpr

@@ -8,7 +8,6 @@ over a continuous space, and successive halving (adaptive budget).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.core.grid import GridSpec, generate_configs

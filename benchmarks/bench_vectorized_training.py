@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.bench_util import emit, fmt_row
 from repro.evaluation.evaluator import HoldoutEvaluator

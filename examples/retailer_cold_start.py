@@ -20,7 +20,6 @@ Run:  python examples/retailer_cold_start.py
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro import (
     BPRHyperParams,

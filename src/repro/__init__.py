@@ -48,6 +48,7 @@ from repro.data import (
     generate_retailer,
 )
 from repro.evaluation import HoldoutEvaluator
+from repro.mapreduce import DeadLetter, FaultPlan
 from repro.models import (
     BPRHyperParams,
     BPRModel,
@@ -98,6 +99,8 @@ __all__ = [
     "Cluster",
     "MachineSpec",
     "SimClock",
+    "DeadLetter",
+    "FaultPlan",
 ]
 
 

@@ -145,25 +145,42 @@ class Cluster:
         """Divide ``total_shards`` units of work across cells ∝ free CPUs.
 
         This is the paper's per-data-center job splitting: each cell gets
-        its own independent MapReduce sized to its spare capacity.  Every
-        cell with free capacity receives at least one shard.
+        its own independent MapReduce sized to its spare capacity.  Shares
+        always sum to exactly ``total_shards`` and are never negative;
+        with fewer shards than cells, the most-free cells are served
+        first, and when there are enough shards to go around, every cell
+        with free capacity receives at least one.
         """
+        if total_shards < 1:
+            raise ClusterError("total_shards must be >= 1")
         free = {name: cell.free_cpus for name, cell in self.cells.items()}
         total_free = sum(free.values())
         if total_free == 0:
             raise CapacityError("no free capacity anywhere in the cluster")
-        shares: Dict[str, int] = {}
-        assigned = 0
-        names = sorted(free, key=lambda n: -free[n])
-        for name in names:
-            if free[name] == 0:
-                shares[name] = 0
-                continue
-            share = max(1, round(total_shards * free[name] / total_free))
-            shares[name] = share
-            assigned += share
-        # Trim or pad the largest cell so shards sum exactly.
-        shares[names[0]] += total_shards - assigned
-        if shares[names[0]] < 0:
-            raise ClusterError("shard split produced a negative share")
+        names = sorted(free, key=lambda n: (-free[n], n))
+        quotas = {
+            name: total_shards * free[name] / total_free for name in names
+        }
+        shares = {name: int(quotas[name]) for name in names}
+        # Hand the rounding remainder out one shard at a time, largest
+        # fractional quota first (most-free cell on ties) — the remainder
+        # is always smaller than the number of cells with a fractional
+        # quota, so no cell receives more than one extra shard.
+        remainder = total_shards - sum(shares.values())
+        by_fraction = sorted(
+            (name for name in names if free[name] > 0),
+            key=lambda n: (shares[n] - quotas[n], -free[n], n),
+        )
+        for name in by_fraction[:remainder]:
+            shares[name] += 1
+        # When feasible, guarantee every free cell a shard by taking one
+        # from the currently largest share (which then still keeps >= 1).
+        starved = [n for n in names if free[n] > 0 and shares[n] == 0]
+        if total_shards >= len([n for n in names if free[n] > 0]):
+            for name in starved:
+                donor = max(names, key=lambda n: shares[n])
+                if shares[donor] <= 1:
+                    break
+                shares[donor] -= 1
+                shares[name] += 1
         return shares

@@ -9,7 +9,7 @@ discount by default.  Every simulated pipeline charges its usage to a
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.cluster.machine import Priority, VMRequest

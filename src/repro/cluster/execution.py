@@ -10,8 +10,8 @@ pre-emption; without it, every pre-emption restarts the job from zero.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.machine import Priority, VMRequest
 from repro.cluster.preemption import PreemptionModel

@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.cluster.machine import Priority
 from repro.exceptions import ClusterError

@@ -12,7 +12,7 @@ component the hybrid policy uses for popular items.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

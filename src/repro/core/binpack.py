@@ -12,7 +12,7 @@ compares against.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Sequence, TypeVar
+from typing import Hashable, List, Mapping, Sequence, TypeVar
 
 from repro.exceptions import SigmundError
 

@@ -20,8 +20,8 @@ carefully:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.core.config import ConfigRecord
 from repro.data.datasets import RetailerDataset

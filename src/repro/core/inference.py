@@ -32,8 +32,14 @@ from repro.core.registry import ModelRegistry
 from repro.data.datasets import RetailerDataset
 from repro.data.events import EventType
 from repro.data.sessions import UserContext
-from repro.exceptions import ModelNotTrainedError
-from repro.mapreduce.runtime import JobStats, MapReduceJob, MapReduceRuntime
+from repro.exceptions import ModelNotTrainedError, SigmundError
+from repro.mapreduce.runtime import (
+    SKIP_RECORD,
+    FaultPlan,
+    JobStats,
+    MapReduceJob,
+    MapReduceRuntime,
+)
 from repro.mapreduce.splits import InputSplit
 from repro.models.base import Recommender, ScoredItem
 
@@ -68,7 +74,13 @@ class InferenceStats:
     total_cost: float = 0.0
     makespan_seconds: float = 0.0
     preemptions: int = 0
+    records_skipped: int = 0
     per_cell: Dict[str, JobStats] = field(default_factory=dict)
+    #: Retailers whose inference failed (stale model, crashed mapper, or
+    #: a dead cell job); the service serves them yesterday's tables.
+    failed_retailers: List[str] = field(default_factory=list)
+    #: Human-readable reason per failed retailer.
+    failure_reasons: Dict[str, str] = field(default_factory=dict)
 
 
 class InferencePipeline:
@@ -86,16 +98,20 @@ class InferencePipeline:
         model_load_seconds: float = 5.0,
         workers_per_cell: int = 8,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        failure_policy: str = SKIP_RECORD,
     ):
         self.cluster = cluster
         self.registry = registry
         self.top_n = top_n
         self.ledger = ledger or CostLedger(pricing)
+        self.failure_policy = failure_policy
         self.runtime = MapReduceRuntime(
             pricing=pricing,
             preemption_model=preemption_model,
             ledger=self.ledger,
             seed=seed,
+            fault_plan=fault_plan,
         )
         self.per_candidate_seconds = per_candidate_seconds
         self.model_load_seconds = model_load_seconds
@@ -118,31 +134,51 @@ class InferencePipeline:
             return {}, stats
 
         # Split retailers across cells proportionally to free capacity,
-        # then bin-pack within each cell.
+        # then bin-pack within each cell.  Cells are ordered by their
+        # capacity share and bins by total weight before pairing, so the
+        # heaviest retailer group lands on the cell with the most spare
+        # capacity instead of whatever dict insertion order yields.
         weights = {rid: float(ds.n_items) for rid, ds in ready.items()}
         cell_shares = self.cluster.split_by_capacity(len(ready))
-        cells = [name for name, share in cell_shares.items() if share > 0]
+        cells = sorted(
+            (name for name, share in cell_shares.items() if share > 0),
+            key=lambda name: (-cell_shares[name], name),
+        )
         cell_bins = first_fit_decreasing(weights, max(1, len(cells)))
+        cell_bins.sort(key=lambda group: -sum(weights[rid] for rid in group))
 
         results: Dict[str, InferenceResult] = {}
+        failed: Dict[str, str] = {}
         for cell_name, retailer_group in zip(cells, cell_bins):
             if not retailer_group:
                 continue
             group = {rid: ready[rid] for rid in retailer_group}
-            cell_results, job_stats, loads = self._run_cell_job(
-                cell_name, group, day
-            )
+            try:
+                cell_results, job_stats, loads, cell_failed = self._run_cell_job(
+                    cell_name, group, day
+                )
+            except SigmundError as exc:
+                # The whole cell job died; its retailers degrade, the
+                # other cells still publish fresh tables.
+                failed.update(
+                    {rid: f"cell {cell_name!r}: {exc}" for rid in group}
+                )
+                continue
             results.update(cell_results)
+            failed.update(cell_failed)
             stats.per_cell[cell_name] = job_stats
             stats.total_cost += job_stats.cost
             stats.preemptions += job_stats.preemptions
             stats.model_loads += loads
+            stats.records_skipped += job_stats.records_skipped
             stats.makespan_seconds = max(
                 stats.makespan_seconds, job_stats.makespan_seconds
             )
         stats.items_processed = sum(
             len(result.view_recs) for result in results.values()
         )
+        stats.failed_retailers = sorted(failed)
+        stats.failure_reasons = failed
         return results, stats
 
     # ------------------------------------------------------------------
@@ -153,27 +189,41 @@ class InferencePipeline:
         cell_name: str,
         datasets: Dict[str, RetailerDataset],
         day: int,
-    ) -> Tuple[Dict[str, InferenceResult], JobStats, int]:
-        selectors = {
-            rid: self._build_selector(dataset) for rid, dataset in datasets.items()
-        }
+    ) -> Tuple[Dict[str, InferenceResult], JobStats, int, Dict[str, str]]:
+        # Per-retailer preload isolation: a retailer whose selector or
+        # model cannot be prepared (stale model after a catalog grew,
+        # missing registry entry) is excluded from the job and reported,
+        # instead of sinking every retailer sharing its cell.
+        failed: Dict[str, str] = {}
+        selectors: Dict[str, CandidateSelector] = {}
         models: Dict[str, Tuple[int, Recommender]] = {}
-        for rid in datasets:
-            best = self.registry.best(rid)
-            if best.model.n_items < datasets[rid].n_items:
-                raise ModelNotTrainedError(
-                    f"best model for {rid!r} covers {best.model.n_items} items "
-                    f"but the catalog has {datasets[rid].n_items}; retrain "
-                    f"before running inference on the new catalog"
-                )
-            models[rid] = (best.model_number, best.model)
-            # Prime the effective-item matrix once per loaded model: no
-            # updates happen during inference, so every candidate scoring
-            # call below gathers from the cache instead of re-stacking
-            # per-item feature vectors.
-            prime = getattr(best.model, "effective_item_matrix", None)
-            if prime is not None:
-                prime()
+        for rid, dataset in datasets.items():
+            try:
+                best = self.registry.best(rid)
+                if best.model.n_items < dataset.n_items:
+                    raise ModelNotTrainedError(
+                        f"best model for {rid!r} covers {best.model.n_items} "
+                        f"items but the catalog has {dataset.n_items}; retrain "
+                        f"before running inference on the new catalog"
+                    )
+                selectors[rid] = self._build_selector(dataset)
+                models[rid] = (best.model_number, best.model)
+                # Prime the effective-item matrix once per loaded model: no
+                # updates happen during inference, so every candidate scoring
+                # call below gathers from the cache instead of re-stacking
+                # per-item feature vectors.
+                prime = getattr(best.model, "effective_item_matrix", None)
+                if prime is not None:
+                    prime()
+            except SigmundError as exc:
+                failed[rid] = str(exc)
+        datasets = {
+            rid: dataset
+            for rid, dataset in datasets.items()
+            if rid not in failed
+        }
+        if not datasets:
+            return {}, JobStats(job_name=f"inference/day{day}/{cell_name}"), 0, failed
 
         # The mapper keeps "the model for the current retailer in memory";
         # a load is counted whenever consecutive records change retailer.
@@ -227,6 +277,7 @@ class InferencePipeline:
             vm_request=VMRequest(cpus=4, memory_gb=16.0, priority=Priority.PREEMPTIBLE),
             record_cost_fn=record_cost,
             task_startup_seconds=self.model_load_seconds,
+            failure_policy=self.failure_policy,
         )
         outputs, job_stats = self.runtime.run(job, splits)
         results = {
@@ -234,6 +285,16 @@ class InferencePipeline:
             for result in outputs
             if isinstance(result, InferenceResult)
         }
+        # An item record that dead-lettered means the retailer's table
+        # would be incomplete; serving a partial table is worse than
+        # serving yesterday's complete one, so the whole retailer
+        # degrades (versioned stores make that safe).
+        for letter in job_stats.dead_letters:
+            rid = letter.record[0] if isinstance(letter.record, tuple) else None
+            if rid is not None and rid not in failed:
+                failed[rid] = str(letter.exception)
+        for rid in failed:
+            results.pop(rid, None)
         # Charge-back attribution (section V): split the job bill across
         # retailers in proportion to their inference work (≈ item count
         # times capped candidates).
@@ -248,7 +309,7 @@ class InferencePipeline:
                 self.ledger.attribute(
                     f"chargeback/{rid}", job_stats.cost * units / total_work
                 )
-        return results, job_stats, loader_state["loads"]
+        return results, job_stats, loader_state["loads"], failed
 
     def _binpacked_splits(
         self,

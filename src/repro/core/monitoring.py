@@ -9,7 +9,7 @@ aggregates for dashboards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -20,13 +20,17 @@ DEFAULT_REGRESSION_THRESHOLD = 0.30
 
 @dataclass(frozen=True)
 class Alert:
-    """One quality regression worth a human look."""
+    """One quality regression or pipeline failure worth a human look."""
 
     retailer_id: str
     day: int
     metric: str
     previous: float
     current: float
+    #: "regression" (metric dropped) or "failure" (pipeline stage died).
+    kind: str = "regression"
+    #: Free-form context, e.g. the exception message behind a failure.
+    detail: str = ""
 
     @property
     def drop_fraction(self) -> float:
@@ -68,6 +72,29 @@ class QualityMonitor:
             return alert
         return None
 
+    def record_failure(
+        self, retailer_id: str, day: int, stage: str, detail: str = ""
+    ) -> Alert:
+        """Record that a pipeline stage failed for a retailer today.
+
+        A failed retailer keeps serving yesterday's recommendations (the
+        degradation the service layer arranges), so nothing shows up in
+        the metric history — this alert is what keeps the failure from
+        being silent.  Always alerts: availability loss is never below
+        the threshold.
+        """
+        alert = Alert(
+            retailer_id=retailer_id,
+            day=day,
+            metric=f"{stage}_availability",
+            previous=1.0,
+            current=0.0,
+            kind="failure",
+            detail=detail,
+        )
+        self.alerts.append(alert)
+        return alert
+
     def metric_history(self, retailer_id: str) -> Dict[int, float]:
         return dict(self._history.get(retailer_id, {}))
 
@@ -88,3 +115,10 @@ class QualityMonitor:
 
     def alerts_for_day(self, day: int) -> List[Alert]:
         return [alert for alert in self.alerts if alert.day == day]
+
+    def failures_for_day(self, day: int) -> List[Alert]:
+        return [
+            alert
+            for alert in self.alerts
+            if alert.day == day and alert.kind == "failure"
+        ]

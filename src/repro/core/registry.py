@@ -13,10 +13,10 @@ pick the top-K configurations and warm-start from their parameters
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.config import ConfigRecord, OutputConfigRecord
+from repro.core.config import OutputConfigRecord
 from repro.exceptions import IsolationError, ModelNotTrainedError
 from repro.models.bpr import BPRModel
 

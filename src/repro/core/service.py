@@ -28,7 +28,8 @@ from repro.core.registry import ModelRegistry
 from repro.core.sweep import SweepPlanner
 from repro.core.training import PipelineStats, TrainerSettings, TrainingPipeline
 from repro.data.datasets import RetailerDataset
-from repro.exceptions import DataError
+from repro.exceptions import DataError, SigmundError
+from repro.mapreduce.runtime import FaultPlan
 from repro.serving.server import RecommendationServer
 from repro.serving.store import RecommendationStore
 
@@ -43,17 +44,34 @@ class DailyRunReport:
     day: int
     sweep_kind: str = "incremental"
     configs_trained: int = 0
+    configs_failed: int = 0
     retailers_served: int = 0
+    #: Retailers kept on yesterday's table after today's pipeline failed.
+    retailers_stale: int = 0
+    #: Failed retailers with no previous table to fall back on (day-0
+    #: failures) — the only case a retailer is not served at all.
+    retailers_unserved: int = 0
     training_cost: float = 0.0
     inference_cost: float = 0.0
     training_makespan: float = 0.0
     inference_makespan: float = 0.0
     preemptions: int = 0
     alerts: int = 0
+    #: Retailers whose training or inference failed today, with reasons.
+    failed_retailers: List[str] = field(default_factory=list)
+    failure_reasons: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
         return self.training_cost + self.inference_cost
+
+    @property
+    def availability(self) -> float:
+        """Fraction of retailers served at all (fresh or stale) today."""
+        fleet = self.retailers_served + self.retailers_stale + self.retailers_unserved
+        if fleet == 0:
+            return 1.0
+        return 1.0 - self.retailers_unserved / fleet
 
 
 class SigmundService:
@@ -69,6 +87,7 @@ class SigmundService:
         top_k_incremental: int = 3,
         full_restart_every: int = DEFAULT_FULL_RESTART_EVERY,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.cluster = cluster
         self.registry = ModelRegistry()
@@ -83,6 +102,7 @@ class SigmundService:
             preemption_model=preemption_model,
             ledger=self.ledger,
             seed=seed,
+            fault_plan=fault_plan,
         )
         self.inference = InferencePipeline(
             cluster,
@@ -91,6 +111,7 @@ class SigmundService:
             preemption_model=preemption_model,
             ledger=self.ledger,
             seed=seed + 1,
+            fault_plan=fault_plan,
         )
         self.substitutes_store = RecommendationStore()
         self.accessories_store = RecommendationStore()
@@ -160,15 +181,52 @@ class SigmundService:
             plan = self.planner.incremental_sweep(datasets, self.registry, day=day)
             report.sweep_kind = "incremental"
 
-        outputs, train_stats = self.training.run(
-            plan.configs, self._datasets, day=day
-        )
+        failure_reasons: Dict[str, str] = {}
+        try:
+            outputs, train_stats = self.training.run(
+                plan.configs, self._datasets, day=day
+            )
+        except SigmundError as exc:
+            # Catastrophic sweep failure (e.g. the cluster lost all free
+            # capacity): nobody trains today, everybody degrades to
+            # yesterday's models — but the day still completes.
+            train_stats = PipelineStats()
+            for retailer_id in sorted({c.retailer_id for c in plan.configs}):
+                failure_reasons[retailer_id] = f"training: {exc}"
+        else:
+            for failure in train_stats.failures:
+                if failure.retailer_id in train_stats.failed_retailers:
+                    failure_reasons.setdefault(
+                        failure.retailer_id, f"training: {failure.error}"
+                    )
         report.configs_trained = train_stats.configs_trained
+        report.configs_failed = train_stats.configs_failed
         report.training_cost = train_stats.total_cost
         report.training_makespan = train_stats.makespan_seconds
         report.preemptions += train_stats.preemptions
 
-        results, infer_stats = self.inference.run(self._datasets, day=day)
+        # A retailer whose training failed outright is served from
+        # yesterday's tables; running inference on its stale registry
+        # entry would hide the failure behind quietly old models.
+        healthy = {
+            retailer_id: dataset
+            for retailer_id, dataset in self._datasets.items()
+            if retailer_id not in failure_reasons
+        }
+        try:
+            results, infer_stats = self.inference.run(healthy, day=day)
+        except SigmundError as exc:
+            results, infer_stats = {}, InferenceStats()
+            for retailer_id in healthy:
+                if self.registry.has_models(retailer_id):
+                    failure_reasons[retailer_id] = f"inference: {exc}"
+        else:
+            for retailer_id in infer_stats.failed_retailers:
+                failure_reasons.setdefault(
+                    retailer_id,
+                    "inference: "
+                    + infer_stats.failure_reasons.get(retailer_id, "failed"),
+                )
         report.inference_cost = infer_stats.total_cost
         report.inference_makespan = infer_stats.makespan_seconds
         report.preemptions += infer_stats.preemptions
@@ -181,6 +239,24 @@ class SigmundService:
                 retailer_id, result.purchase_recs, version=day + 1
             )
         report.retailers_served = len(results)
+        report.failed_retailers = sorted(failure_reasons)
+        report.failure_reasons = dict(failure_reasons)
+        for retailer_id in report.failed_retailers:
+            # Graceful degradation: the store still holds the last good
+            # table (versioned batch loads never partially apply), so the
+            # retailer keeps serving — just stale.  Only a retailer that
+            # never had a table (day-0 failure) goes unserved.
+            if self.substitutes_store.has_retailer(retailer_id):
+                report.retailers_stale += 1
+            else:
+                report.retailers_unserved += 1
+            self.monitor.record_failure(
+                retailer_id,
+                day,
+                stage=failure_reasons[retailer_id].split(":", 1)[0],
+                detail=failure_reasons[retailer_id],
+            )
+            report.alerts += 1
 
         # Refresh the re-purchase surface (section III-D1): detectors are
         # rebuilt daily from the latest training data.
@@ -190,6 +266,11 @@ class SigmundService:
             )
 
         for retailer_id in self._datasets:
+            # Failed retailers already got an availability alert; their
+            # registry entry is yesterday's, so recording it as today's
+            # metric would just mask the failure.
+            if retailer_id in failure_reasons:
+                continue
             if self.registry.has_models(retailer_id):
                 best = self.registry.best(retailer_id)
                 alert = self.monitor.record(retailer_id, day, best.map_at_10)

@@ -17,13 +17,13 @@ records end up spread across MapReduce workers instead of clumping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.core.config import ConfigRecord
 from repro.core.grid import GridSpec, generate_configs
 from repro.core.registry import ModelRegistry
 from repro.data.datasets import RetailerDataset
-from repro.rng import SeedLike, derive_seed, make_rng
+from repro.rng import derive_seed, make_rng
 
 #: Paper: incremental sweeps keep "the top-K most promising models
 #: (usually 3-5) from the previous day".

@@ -18,7 +18,6 @@ Paper section IV-B: training is a MapReduce whose map phase calls a
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,8 +32,14 @@ from repro.core.config import ConfigRecord, OutputConfigRecord
 from repro.core.registry import ModelRegistry, TrainedModel
 from repro.data.datasets import RetailerDataset
 from repro.evaluation.evaluator import HoldoutEvaluator
-from repro.exceptions import ConfigError, DataError
-from repro.mapreduce.runtime import JobStats, MapReduceJob, MapReduceRuntime
+from repro.exceptions import ConfigError, DataError, SigmundError
+from repro.mapreduce.runtime import (
+    SKIP_RECORD,
+    FaultPlan,
+    JobStats,
+    MapReduceJob,
+    MapReduceRuntime,
+)
 from repro.mapreduce.splits import uniform_splits
 from repro.models.bpr import BPRModel
 from repro.models.negatives import (
@@ -313,15 +318,34 @@ class HogwildTrainer:
         return report
 
 
+@dataclass(frozen=True)
+class ConfigFailure:
+    """One config record the sweep gave up on (dead-lettered or crashed)."""
+
+    config: ConfigRecord
+    error: str
+    attempts: int = 1
+
+    @property
+    def retailer_id(self) -> str:
+        return self.config.retailer_id
+
+
 @dataclass
 class PipelineStats:
     """Aggregated execution statistics of one training pipeline run."""
 
     configs_trained: int = 0
+    configs_failed: int = 0
     total_cost: float = 0.0
     makespan_seconds: float = 0.0
     preemptions: int = 0
     per_cell: Dict[str, JobStats] = field(default_factory=dict)
+    #: Every config that failed, with the error that killed it.
+    failures: List[ConfigFailure] = field(default_factory=list)
+    #: Retailers for which *no* config trained successfully this run —
+    #: the ones the service must degrade to yesterday's models for.
+    failed_retailers: List[str] = field(default_factory=list)
 
 
 class TrainingPipeline:
@@ -329,8 +353,15 @@ class TrainingPipeline:
 
     The pipeline (1) splits records across cells proportionally to free
     capacity, (2) runs one MapReduce per cell whose mapper is
-    :func:`train_config`, (3) publishes every trained model to the
-    registry, and (4) charges all simulated compute to the ledger.
+    :func:`train_config`, (3) publishes every *successfully* trained
+    model to the registry, and (4) charges all simulated compute to the
+    ledger.
+
+    Failure isolation: jobs run under the ``skip_record`` policy by
+    default, so one config's crash (bad data, injected fault, task out of
+    attempts) dead-letters that config instead of aborting the sweep —
+    the failure lands in :attr:`PipelineStats.failures`, and retailers
+    with no surviving config in :attr:`PipelineStats.failed_retailers`.
     """
 
     def __init__(
@@ -342,16 +373,20 @@ class TrainingPipeline:
         preemption_model: PreemptionModel = PreemptionModel(),
         ledger: Optional[CostLedger] = None,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        failure_policy: str = SKIP_RECORD,
     ):
         self.cluster = cluster
         self.registry = registry
         self.settings = settings
         self.ledger = ledger or CostLedger(pricing)
+        self.failure_policy = failure_policy
         self.runtime = MapReduceRuntime(
             pricing=pricing,
             preemption_model=preemption_model,
             ledger=self.ledger,
             seed=seed,
+            fault_plan=fault_plan,
         )
         self.checkpoints = CheckpointManager(settings.checkpoint_interval_seconds)
         self._seed = seed
@@ -362,7 +397,12 @@ class TrainingPipeline:
         datasets: Dict[str, RetailerDataset],
         day: int = 0,
     ) -> Tuple[List[OutputConfigRecord], PipelineStats]:
-        """Train every config record; returns outputs + execution stats."""
+        """Train every config record; returns outputs + execution stats.
+
+        A failed config (or a whole failed cell job) is reported on the
+        stats instead of aborting the sweep: the remaining cells and
+        configs still train and publish.
+        """
         stats = PipelineStats()
         if not configs:
             return [], stats
@@ -378,10 +418,27 @@ class TrainingPipeline:
             cursor += share
             if not chunk:
                 continue
-            job_outputs, job_stats = self._run_cell_job(
-                cell_name, chunk, datasets, day
-            )
+            try:
+                job_outputs, job_stats = self._run_cell_job(
+                    cell_name, chunk, datasets, day
+                )
+            except SigmundError as exc:
+                # The whole cell job died (capacity, isolation, a crash
+                # under fail_job policy): every config it held fails, but
+                # the other cells' sweeps continue.
+                stats.failures.extend(
+                    ConfigFailure(config, f"cell {cell_name!r}: {exc}")
+                    for config in chunk
+                )
+                continue
             outputs.extend(job_outputs)
+            stats.failures.extend(
+                ConfigFailure(
+                    letter.record, str(letter.exception), letter.attempts
+                )
+                for letter in job_stats.dead_letters
+                if isinstance(letter.record, ConfigRecord)
+            )
             stats.per_cell[cell_name] = job_stats
             stats.total_cost += job_stats.cost
             stats.preemptions += job_stats.preemptions
@@ -389,6 +446,11 @@ class TrainingPipeline:
                 stats.makespan_seconds, job_stats.makespan_seconds
             )
         stats.configs_trained = len(outputs)
+        stats.configs_failed = len(stats.failures)
+        succeeded = {output.retailer_id for output in outputs}
+        stats.failed_retailers = sorted(
+            {failure.retailer_id for failure in stats.failures} - succeeded
+        )
         return outputs, stats
 
     def _run_cell_job(
@@ -413,8 +475,10 @@ class TrainingPipeline:
                 warm_model=warm_model,
                 checkpoints=self.checkpoints,
             )
-            registry.publish(TrainedModel(model=model, output=output))
-            yield config.retailer_id, output
+            # Publication happens after the job, from surviving outputs
+            # only — a config on a task that later fails permanently must
+            # not leave a half-published model in the registry.
+            yield config.retailer_id, TrainedModel(model=model, output=output)
 
         def record_cost(record: object) -> float:
             config: ConfigRecord = record  # type: ignore[assignment]
@@ -450,13 +514,18 @@ class TrainingPipeline:
                 priority=Priority.PREEMPTIBLE,
             ),
             record_cost_fn=record_cost,
+            failure_policy=self.failure_policy,
         )
         # One config record per split: a map task trains exactly one model,
         # so no machine ever holds two retailers' models at once.
         splits = uniform_splits(configs, len(configs))
         raw_outputs, job_stats = self.runtime.run(job, splits)
         self._attribute_chargebacks(configs, record_cost, job_stats.cost)
-        return [output for _, output in _flatten(raw_outputs)], job_stats
+        outputs: List[OutputConfigRecord] = []
+        for entry in _trained_models(raw_outputs):
+            registry.publish(entry)
+            outputs.append(entry.output)
+        return outputs, job_stats
 
     def _attribute_chargebacks(
         self,
@@ -490,11 +559,11 @@ class TrainingPipeline:
             return None
 
 
-def _flatten(outputs: List[object]) -> List[Tuple[str, OutputConfigRecord]]:
-    flat = []
+def _trained_models(outputs: List[object]) -> List[TrainedModel]:
+    entries = []
     for item in outputs:
-        if isinstance(item, OutputConfigRecord):
-            flat.append((item.retailer_id, item))
-        else:
-            flat.append(item)  # (retailer_id, output) pairs from the reducer
-    return flat
+        if isinstance(item, TrainedModel):
+            entries.append(item)
+        else:  # (retailer_id, entry) pairs from a non-identity reducer
+            entries.append(item[1])
+    return entries

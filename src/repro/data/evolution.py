@@ -30,13 +30,11 @@ import numpy as np
 
 from repro.data.catalog import Catalog, Item, make_item_id
 from repro.data.generator import (
-    RetailerSpec,
     SyntheticRetailer,
     _build_companions,
     _funnel_event,
 )
 from repro.data.events import Interaction
-from repro.data.taxonomy import Taxonomy
 from repro.exceptions import DataError
 from repro.rng import derive_seed, make_rng
 
@@ -206,7 +204,6 @@ def _grow_catalog(retailer, evolution, rng):
 
 def _grow_users(retailer, evolution, rng):
     """Add new users and drift existing interests slightly."""
-    spec = retailer.spec
     old_users = retailer.true_user_vectors
     drifted = old_users + rng.normal(
         0.0, evolution.interest_drift, size=old_users.shape

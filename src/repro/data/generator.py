@@ -30,7 +30,7 @@ from repro.data.catalog import Catalog, Item, make_item_id
 from repro.data.events import EventType, Interaction
 from repro.data.taxonomy import ROOT_CATEGORY, Taxonomy, random_taxonomy
 from repro.exceptions import DataError
-from repro.rng import SeedLike, derive_seed, make_rng
+from repro.rng import derive_seed, make_rng
 
 #: Multiplier applied to the funnel upgrade probability at each stage; keeps
 #: carts/conversions orders of magnitude rarer than views (paper III-A).

@@ -9,19 +9,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
 from repro.data.datasets import RetailerDataset
-from repro.evaluation.metrics import (
-    auc_from_rank,
-    average_precision_at_k,
-    mean_rank_metrics,
-    ndcg_at_k,
-    precision_at_k,
-    recall_at_k,
-)
+from repro.evaluation.metrics import mean_rank_metrics
 from repro.evaluation.sampled import SampledRankEstimator
 from repro.models.base import Recommender
 from repro.rng import SeedLike

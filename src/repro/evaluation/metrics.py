@@ -14,7 +14,7 @@ relevant item, so each metric reduces to a function of that item's
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -62,5 +62,14 @@ class MapReduceError(SigmundError):
     """A MapReduce job failed permanently (retries exhausted)."""
 
 
+class FaultInjectedError(SigmundError):
+    """A deliberate failure raised by a fault-injection plan.
+
+    Robustness tests and the fault-isolation benchmark use this to make
+    failures deterministic; seeing it outside a test means a
+    :class:`~repro.mapreduce.runtime.FaultPlan` leaked into production
+    wiring."""
+
+
 class ServingError(SigmundError):
     """The serving store could not satisfy a request."""

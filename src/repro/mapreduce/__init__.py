@@ -9,7 +9,13 @@ scheduling, pre-emptions, retries, cost, and makespan on a
 :class:`~repro.cluster.cell.Cell`.
 """
 
-from repro.mapreduce.runtime import JobStats, MapReduceJob, MapReduceRuntime
+from repro.mapreduce.runtime import (
+    DeadLetter,
+    FaultPlan,
+    JobStats,
+    MapReduceJob,
+    MapReduceRuntime,
+)
 from repro.mapreduce.splits import (
     InputSplit,
     contiguous_splits_by_key,
@@ -25,4 +31,6 @@ __all__ = [
     "MapReduceJob",
     "MapReduceRuntime",
     "JobStats",
+    "DeadLetter",
+    "FaultPlan",
 ]

@@ -12,6 +12,16 @@ without re-running expensive user code per attempt.
 Scheduling model: the job holds ``n_workers`` single-task VM slots; each
 map task goes to the earliest-free worker (list scheduling), which is how
 a MapReduce master assigns splits to a fixed worker pool.
+
+Failure semantics: a job declares a :data:`failure policy
+<MapReduceJob.failure_policy>`.  Under ``"fail_job"`` (classic MapReduce)
+any mapper exception or task that exhausts :data:`MAX_TASK_ATTEMPTS`
+aborts the whole job.  Under ``"skip_record"`` the offending records are
+diverted to a dead-letter list on :class:`JobStats` and the rest of the
+job completes — the mode Sigmund's multi-tenant daily loop runs in, so
+one retailer's bad day cannot take down the fleet.  :class:`FaultPlan`
+injects deterministic failures (mapper exceptions or doomed task
+attempts) so both policies are testable without relying on luck.
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cluster.cost import CostLedger, ResourcePricing
 from repro.cluster.machine import Priority, VMRequest
 from repro.cluster.preemption import PreemptionModel
-from repro.exceptions import MapReduceError
+from repro.exceptions import FaultInjectedError, MapReduceError
 from repro.mapreduce.splits import InputSplit
 from repro.rng import SeedLike, make_rng
 
@@ -34,14 +44,98 @@ ReducerFn = Callable[[object, List[object]], Iterable[object]]
 #: Returns simulated seconds of compute for one record.
 RecordCostFn = Callable[[object], float]
 
-#: Attempts per task before the whole job fails (MapReduce semantics).
+#: Attempts per task before it fails permanently (MapReduce semantics).
 MAX_TASK_ATTEMPTS = 50
+
+#: Failure policies a job can declare.
+FAIL_JOB = "fail_job"
+SKIP_RECORD = "skip_record"
+FAILURE_POLICIES = (FAIL_JOB, SKIP_RECORD)
 
 
 def _identity_reducer(key: object, values: List[object]) -> Iterable[object]:
     """Default reducer: pass every value through."""
     del key
     return values
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One record the job gave up on, with why and after how many tries."""
+
+    record: object
+    exception: BaseException
+    attempts: int
+
+
+class FaultPlan:
+    """Deterministic fault injection for robustness tests and benchmarks.
+
+    Two kinds of faults, both keyed by a record predicate:
+
+    * :meth:`fail_mapper` — the mapper raises for matching records (a
+      poison record / bad tenant data), optionally only the first
+      ``times`` matches.
+    * :meth:`fail_attempts` — the first ``failures`` scheduling attempts
+      of any task containing a matching record die at launch
+      (``failures=None`` dooms the task permanently, e.g. a config whose
+      memory ask no machine survives).
+
+    Rules are consulted in registration order; plans are reusable across
+    jobs (mapper-fault counters persist, attempt counters are per task
+    copy).
+    """
+
+    def __init__(self) -> None:
+        self._mapper_rules: List[dict] = []
+        self._attempt_rules: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # Declaring faults
+    # ------------------------------------------------------------------
+    def fail_mapper(
+        self,
+        match: Callable[[object], bool],
+        exception: Optional[BaseException] = None,
+        times: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Raise ``exception`` from the mapper for matching records."""
+        self._mapper_rules.append(
+            {"match": match, "exception": exception, "times": times, "fired": 0}
+        )
+        return self
+
+    def fail_attempts(
+        self,
+        match: Callable[[object], bool],
+        failures: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Kill the first ``failures`` attempts of matching tasks (None = all)."""
+        self._attempt_rules.append({"match": match, "failures": failures})
+        return self
+
+    # ------------------------------------------------------------------
+    # Runtime-facing queries
+    # ------------------------------------------------------------------
+    def mapper_fault(self, record: object) -> Optional[BaseException]:
+        """The exception to raise for ``record``, or None."""
+        for rule in self._mapper_rules:
+            if rule["times"] is not None and rule["fired"] >= rule["times"]:
+                continue
+            if rule["match"](record):
+                rule["fired"] += 1
+                if rule["exception"] is not None:
+                    return rule["exception"]
+                return FaultInjectedError(f"injected mapper fault for {record!r}")
+        return None
+
+    def attempt_fails(self, records: Sequence[object], attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) of a task dies."""
+        for rule in self._attempt_rules:
+            if any(rule["match"](record) for record in records):
+                if rule["failures"] is None or attempt <= rule["failures"]:
+                    return True
+        return False
 
 
 @dataclass
@@ -67,10 +161,18 @@ class MapReduceJob:
     #: A task whose wall time exceeds this multiple of its ideal duration
     #: (because of pre-emption retries) gets a backup copy.
     speculation_factor: float = 2.0
+    #: ``"fail_job"`` aborts on the first bad record or doomed task;
+    #: ``"skip_record"`` dead-letters them and completes the rest.
+    failure_policy: str = FAIL_JOB
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise MapReduceError("a job needs at least one worker")
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise MapReduceError(
+                f"unknown failure policy {self.failure_policy!r}; "
+                f"expected one of {FAILURE_POLICIES}"
+            )
 
 
 @dataclass
@@ -86,6 +188,13 @@ class JobStats:
     preemptions: int = 0
     reduce_seconds: float = 0.0
     speculative_copies: int = 0
+    #: Map tasks that exhausted their attempts (skip_record policy only).
+    tasks_failed: int = 0
+    #: Records skipped under the skip_record policy (mapper faults plus
+    #: records on permanently failed tasks); mirrors ``dead_letters``.
+    records_skipped: int = 0
+    #: The records the job gave up on, with exceptions and attempt counts.
+    dead_letters: List[DeadLetter] = field(default_factory=list)
     #: Total simulated busy seconds per worker slot (skew diagnostics).
     worker_busy_seconds: List[float] = field(default_factory=list)
 
@@ -99,6 +208,18 @@ class JobStats:
         return max(busy) / mean if mean > 0 else 1.0
 
 
+@dataclass
+class _TaskRun:
+    """Outcome of simulating one task copy's scheduling attempts."""
+
+    wall: float
+    billed: float
+    attempts: int
+    preemptions: int
+    completed: bool
+    failure: Optional[MapReduceError] = None
+
+
 class MapReduceRuntime:
     """Runs jobs: executes user code once, simulates the cluster around it."""
 
@@ -108,10 +229,12 @@ class MapReduceRuntime:
         preemption_model: PreemptionModel = PreemptionModel(),
         ledger: Optional[CostLedger] = None,
         seed: SeedLike = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.pricing = pricing
         self.preemption_model = preemption_model
         self.ledger = ledger or CostLedger(pricing)
+        self.fault_plan = fault_plan
         self._rng = make_rng(seed)
 
     # ------------------------------------------------------------------
@@ -135,73 +258,130 @@ class MapReduceRuntime:
     def _map_phase(
         self, job: MapReduceJob, splits: Sequence[InputSplit], stats: JobStats
     ) -> Dict[object, List[object]]:
+        skip = job.failure_policy == SKIP_RECORD
         # Real execution: each record through the mapper exactly once.
-        intermediate: Dict[object, List[object]] = defaultdict(list)
-        durations: List[float] = []
+        # Output pairs are buffered per task so a task that later fails
+        # its scheduling permanently can be dropped without side effects
+        # leaking into the shuffle.
+        tasks: List[Tuple[InputSplit, float, List[Tuple[object, object]]]] = []
         for split in splits:
             seconds = job.task_startup_seconds
+            pairs: List[Tuple[object, object]] = []
             for record in split.records:
-                seconds += float(job.record_cost_fn(record))
-                for key, value in job.mapper(record):
-                    intermediate[key].append(value)
-            durations.append(seconds)
+                try:
+                    seconds += float(job.record_cost_fn(record))
+                    fault = (
+                        self.fault_plan.mapper_fault(record)
+                        if self.fault_plan is not None
+                        else None
+                    )
+                    if fault is not None:
+                        raise fault
+                    pairs.extend(job.mapper(record))
+                except Exception as exc:
+                    if not skip:
+                        raise MapReduceError(
+                            f"mapper failed on record {record!r} in job "
+                            f"{job.name!r}: {exc}"
+                        ) from exc
+                    stats.dead_letters.append(DeadLetter(record, exc, attempts=1))
+                    stats.records_skipped += 1
+            tasks.append((split, seconds, pairs))
 
         # Simulated scheduling: list-schedule task durations over workers,
         # sampling VM uptime per attempt.
+        intermediate: Dict[object, List[object]] = defaultdict(list)
         workers = [0.0] * job.n_workers
-        for duration in durations:
+        for split, duration, pairs in tasks:
             worker = min(range(job.n_workers), key=lambda w: workers[w])
-            elapsed, billed, attempts, preemptions = self._simulate_attempts(
-                duration, job.vm_request.priority
+            run = self._simulate_attempts(
+                duration, job.vm_request.priority, split.records
             )
-            if (
+            elapsed, billed = run.wall, run.billed
+            attempts, preemptions = run.attempts, run.preemptions
+            if run.completed and (
                 job.speculative_execution
                 and elapsed > job.speculation_factor * duration
             ):
                 # Straggler: a backup copy races the original; the winner
-                # defines wall time, both copies are billed until then.
-                backup_elapsed, _, backup_attempts, backup_preempt = (
-                    self._simulate_attempts(duration, job.vm_request.priority)
+                # defines wall time, and each copy is billed its own time
+                # truncated at the winner's wall-clock (the loser is
+                # killed the moment the winner reports in).
+                backup = self._simulate_attempts(
+                    duration, job.vm_request.priority, split.records
                 )
-                winner = min(elapsed, backup_elapsed)
-                billed = min(billed, winner) + winner  # loser killed at win
+                winner = min(elapsed, backup.wall) if backup.completed else elapsed
+                billed = min(billed, winner) + min(backup.billed, winner)
                 elapsed = winner
-                attempts += backup_attempts
-                preemptions += backup_preempt
+                attempts += backup.attempts
+                preemptions += backup.preemptions
                 stats.speculative_copies += 1
             workers[worker] += elapsed
             stats.billed_vm_seconds += billed
             stats.map_attempts += attempts
             stats.preemptions += preemptions
+            if run.completed:
+                for key, value in pairs:
+                    intermediate[key].append(value)
+            else:
+                # The task died for good: classic MapReduce aborts the
+                # job; skip_record dead-letters the task's records (the
+                # attempts' wall and billed time stay on the books — the
+                # cluster really burned them).
+                if not skip:
+                    raise run.failure
+                stats.tasks_failed += 1
+                already_dead = {
+                    id(letter.record) for letter in stats.dead_letters
+                }
+                for record in split.records:
+                    if id(record) in already_dead:
+                        continue
+                    stats.dead_letters.append(
+                        DeadLetter(record, run.failure, attempts=run.attempts)
+                    )
+                    stats.records_skipped += 1
         stats.worker_busy_seconds = workers
         stats.makespan_seconds = max(workers) if workers else 0.0
         return intermediate
 
     def _simulate_attempts(
-        self, duration: float, priority: Priority
-    ) -> Tuple[float, float, int, int]:
-        """(wall, billed, attempts, preemptions) to finish one map task.
+        self,
+        duration: float,
+        priority: Priority,
+        records: Sequence[object] = (),
+    ) -> _TaskRun:
+        """Simulate scheduling attempts for one map task copy.
 
         Map tasks are idempotent and restart from scratch on pre-emption
         (training-internal checkpointing is layered above, in the record
-        cost model — see :mod:`repro.core.training`).
+        cost model — see :mod:`repro.core.training`).  Injected attempt
+        faults (see :class:`FaultPlan`) kill an attempt at launch:
+        they consume an attempt but no simulated time.
         """
         wall = billed = 0.0
         attempts = preemptions = 0
         while True:
             attempts += 1
             if attempts > MAX_TASK_ATTEMPTS:
-                raise MapReduceError(
+                failure = MapReduceError(
                     f"map task exceeded {MAX_TASK_ATTEMPTS} attempts "
                     f"(duration {duration:.0f}s too long for pre-emptible VMs?)"
                 )
+                return _TaskRun(
+                    wall, billed, attempts - 1, preemptions, False, failure
+                )
+            if self.fault_plan is not None and self.fault_plan.attempt_fails(
+                records, attempts
+            ):
+                continue
             uptime = self.preemption_model.sample_time_to_preemption(
                 priority, self._rng
             )
             if duration <= uptime:
                 wall += duration
                 billed += duration
-                return wall, billed, attempts, preemptions
+                return _TaskRun(wall, billed, attempts, preemptions, True)
             wall += uptime
             billed += uptime
             preemptions += 1

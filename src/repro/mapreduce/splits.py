@@ -14,7 +14,7 @@ Three strategies from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Sequence, TypeVar
 
 from repro.exceptions import MapReduceError

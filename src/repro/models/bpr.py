@@ -26,7 +26,7 @@ The update rule for one triple, with ``z = x_ui - x_uj`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,7 +38,7 @@ from repro.data.taxonomy import ROOT_CATEGORY, Taxonomy
 from repro.exceptions import ConfigError
 from repro.models.base import Recommender
 from repro.models.optim import Optimizer, make_optimizer
-from repro.rng import SeedLike, make_rng
+from repro.rng import make_rng
 
 #: Context weights scale with event strength when event weighting is on —
 #: a carted item says more about the user than a viewed one.

@@ -17,7 +17,7 @@ Each sampler implements :class:`NegativeSampler`;
 from __future__ import annotations
 
 import abc
-from typing import Mapping, Optional, Sequence, Set
+from typing import Mapping, Optional, Set
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from repro.data.events import EventType, Interaction
 from repro.data.sessions import UserContext
 from repro.exceptions import ConfigError, ModelNotTrainedError
 from repro.models.base import Recommender
-from repro.rng import SeedLike, make_rng
+from repro.rng import make_rng
 
 #: Confidence weight of each event type (stronger intent, higher confidence).
 EVENT_CONFIDENCE_WEIGHT: Dict[EventType, float] = {

@@ -8,7 +8,7 @@ which keeps experiments reproducible run to run.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

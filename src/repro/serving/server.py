@@ -10,12 +10,10 @@ because everything is keyed by item, not user.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.data.events import EventType
 from repro.data.sessions import UserContext
-from repro.exceptions import ServingError
-from repro.models.base import ScoredItem
 from repro.models.bpr import EVENT_CONTEXT_WEIGHT
 from repro.serving.store import RecommendationStore
 

@@ -117,3 +117,29 @@ class RecommendationStore:
 
     def retailers(self) -> List[str]:
         return sorted(self._tables)
+
+    def versions(self) -> Dict[str, int]:
+        """Current table version per loaded retailer."""
+        return {rid: table.version for rid, table in self._tables.items()}
+
+    def freshness(
+        self, retailer_ids: Sequence[str], expected_version: int
+    ) -> Dict[str, str]:
+        """Classify each retailer as ``fresh``, ``stale``, or ``unserved``.
+
+        The availability view of graceful degradation: after day N every
+        retailer should be at version N+1 (*fresh*); one whose pipeline
+        failed still serves an older table (*stale* — degraded but alive);
+        *unserved* means no table at all (failed before its first load)
+        and is the state the daily loop exists to avoid.
+        """
+        states: Dict[str, str] = {}
+        for rid in retailer_ids:
+            table = self._tables.get(rid)
+            if table is None:
+                states[rid] = "unserved"
+            elif table.version >= expected_version:
+                states[rid] = "fresh"
+            else:
+                states[rid] = "stale"
+        return states

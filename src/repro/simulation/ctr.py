@@ -17,7 +17,6 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.datasets import RetailerDataset
-from repro.data.generator import SyntheticRetailer
 from repro.exceptions import DataError
 from repro.models.base import Recommender
 from repro.rng import SeedLike, make_rng

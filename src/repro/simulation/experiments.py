@@ -14,8 +14,8 @@ made on significance, not noise.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 from repro.data.datasets import RetailerDataset
 from repro.exceptions import DataError

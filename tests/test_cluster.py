@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.cell import Cell, Cluster
 from repro.cluster.clock import SimClock
@@ -130,6 +132,45 @@ class TestCluster:
     def test_unknown_cell(self):
         with pytest.raises(ClusterError):
             self.build().cell("nope")
+
+    def test_split_fewer_shards_than_cells(self):
+        """Regression: 2 shards over 4 equal cells used to go negative."""
+        cluster = Cluster(
+            [Cell(f"c{i}", 2, MachineSpec(cpus=8, memory_gb=64)) for i in range(4)]
+        )
+        shares = cluster.split_by_capacity(2)
+        assert sum(shares.values()) == 2
+        assert all(share >= 0 for share in shares.values())
+
+    def test_single_shard_goes_to_most_free_cell(self):
+        shares = self.build().split_by_capacity(1)
+        assert shares["big"] == 1
+        assert shares["small"] == 0
+
+    def test_split_invalid_shard_count_rejected(self):
+        with pytest.raises(ClusterError):
+            self.build().split_by_capacity(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        machines=st.lists(st.integers(1, 5), min_size=1, max_size=6),
+        shards=st.integers(1, 40),
+    )
+    def test_split_by_capacity_total(self, machines, shards):
+        """Shares always sum exactly, never go negative, and every free
+        cell gets at least one shard whenever there are enough to go
+        around."""
+        cluster = Cluster(
+            [
+                Cell(f"h{i}", count, MachineSpec(cpus=4, memory_gb=32))
+                for i, count in enumerate(machines)
+            ]
+        )
+        shares = cluster.split_by_capacity(shards)
+        assert sum(shares.values()) == shards
+        assert all(share >= 0 for share in shares.values())
+        if shards >= len(machines):
+            assert all(share >= 1 for share in shares.values())
 
 
 class TestPreemptionModel:

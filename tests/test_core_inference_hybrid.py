@@ -14,7 +14,6 @@ from repro.core.inference import InferencePipeline
 from repro.core.registry import ModelRegistry, TrainedModel
 from repro.data.events import EventType
 from repro.data.sessions import UserContext
-from repro.models.bpr import BPRHyperParams
 
 
 def ctx(*items) -> UserContext:

@@ -8,7 +8,7 @@ import pytest
 from repro import build_cluster
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import ConfigRecord
-from repro.core.grid import GridSpec, generate_configs
+from repro.core.grid import GridSpec
 from repro.core.registry import ModelRegistry
 from repro.core.sweep import SweepPlanner
 from repro.core.training import (

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.data.catalog import Catalog, Item, make_item_id, parse_item_id

@@ -8,7 +8,6 @@ tasks to completion; the serving store survives a failed (stale) load.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cluster.preemption import PreemptionModel

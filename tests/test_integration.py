@@ -115,7 +115,7 @@ class TestDataRefreshLoop:
             taxonomy_depth=2, seed=1,
         )
         service.onboard(make_dataset(generate_retailer(spec)))
-        day0 = service.run_day()
+        service.run_day()
         # "New day": more events observed (larger n_events, same id).
         from dataclasses import replace
 

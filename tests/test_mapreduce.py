@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.cluster.preemption import PreemptionModel
 from repro.exceptions import MapReduceError
-from repro.mapreduce.runtime import MapReduceJob, MapReduceRuntime
+from repro.mapreduce.runtime import MapReduceJob, MapReduceRuntime, _TaskRun
 from repro.mapreduce.splits import (
     contiguous_splits_by_key,
     random_permutation_splits,
@@ -194,3 +194,49 @@ class TestSpeculativeExecution:
         )
         outputs, _ = runtime.run(job, uniform_splits([0] * 6, 3))
         assert outputs == [6]
+
+    def test_backup_copies_not_double_billed(self):
+        """Regression: each racing copy is billed its own time truncated
+        at the winner's wall-clock.  The old formula added the winner's
+        full wall time on top of the original's bill, double-charging
+        whenever billed time diverges from wall time."""
+
+        class ScriptedRuntime(MapReduceRuntime):
+            def __init__(self, runs):
+                super().__init__()
+                self._script = list(runs)
+
+            def _simulate_attempts(self, duration, priority, records=()):
+                return self._script.pop(0)
+
+        runtime = ScriptedRuntime(
+            [
+                # Straggling original: 100s wall but only 40s billed
+                # (most attempts died at launch without accruing bill).
+                _TaskRun(
+                    wall=100.0, billed=40.0, attempts=3, preemptions=2,
+                    completed=True,
+                ),
+                # The backup wins the race at 30s wall, 12s billed.
+                _TaskRun(
+                    wall=30.0, billed=12.0, attempts=1, preemptions=0,
+                    completed=True,
+                ),
+            ]
+        )
+        job = MapReduceJob(
+            name="spec-bill",
+            mapper=lambda r: [(r, r)],
+            n_workers=1,
+            record_cost_fn=lambda r: 10.0,
+            task_startup_seconds=0.0,
+            reduce_record_seconds=0.0,
+            speculative_execution=True,
+            speculation_factor=2.0,
+        )
+        outputs, stats = runtime.run(job, uniform_splits([1], 1))
+        assert outputs == [1]
+        assert stats.speculative_copies == 1
+        # Winner defines wall time; bills: min(40, 30) + min(12, 30).
+        assert stats.makespan_seconds == pytest.approx(30.0)
+        assert stats.billed_vm_seconds == pytest.approx(42.0)

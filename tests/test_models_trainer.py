@@ -6,7 +6,6 @@ import pytest
 
 from repro.data.datasets import RetailerDataset
 from repro.data.events import EventType, Interaction
-from repro.data.generator import RetailerSpec, generate_retailer
 from repro.data.split import leave_last_out_split
 from repro.exceptions import DataError
 from repro.models.bpr import BPRHyperParams, BPRModel
