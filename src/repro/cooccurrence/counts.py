@@ -36,6 +36,12 @@ class CoOccurrenceCounts:
         self.buy_counts: Counter = Counter()
         self.total_view_pairs = 0.0
         self.total_buy_pairs = 0.0
+        # Lazily built full neighbour rankings (strongest first), so the
+        # inference hot path does one sort per item ever instead of one
+        # ``Counter.most_common`` re-sort per query.  Dropped whenever new
+        # histories are counted.
+        self._ranked_view: Dict[int, List[int]] = {}
+        self._ranked_buy: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Building
@@ -55,6 +61,8 @@ class CoOccurrenceCounts:
         return counts
 
     def _add_history(self, history: List[Interaction], pair_window: int) -> None:
+        self._ranked_view.clear()
+        self._ranked_buy.clear()
         viewed = [interaction.item_index for interaction in history]
         bought: List[Tuple[int, float]] = []
         for interaction in history:
@@ -102,11 +110,39 @@ class CoOccurrenceCounts:
 
     def top_co_viewed(self, item_index: int, k: int = 20) -> List[int]:
         """The ``cv(i)`` set, strongest pairs first."""
-        return [item for item, _ in self.co_viewed(item_index).most_common(k)]
+        return self._ranked(self._co_view, self._ranked_view, item_index)[:k]
 
     def top_co_bought(self, item_index: int, k: int = 20) -> List[int]:
         """The ``cb(i)`` set, strongest pairs first."""
-        return [item for item, _ in self.co_bought(item_index).most_common(k)]
+        return self._ranked(self._co_buy, self._ranked_buy, item_index)[:k]
+
+    def _ranked(
+        self,
+        table: Dict[int, Counter],
+        cache: Dict[int, List[int]],
+        item_index: int,
+    ) -> List[int]:
+        """Full neighbour ranking for one item, computed once and cached.
+
+        ``sorted(..., key=count, reverse=True)`` is stable on ties exactly
+        like ``Counter.most_common`` (both resolve equal counts in
+        insertion order), so every prefix of the cached ranking matches
+        what ``most_common(k)`` used to return.
+        """
+        ranked = cache.get(item_index)
+        if ranked is None:
+            neighbours = table.get(item_index)
+            if not neighbours:
+                ranked = []
+            else:
+                ranked = [
+                    item
+                    for item, _ in sorted(
+                        neighbours.items(), key=lambda pair: pair[1], reverse=True
+                    )
+                ]
+            cache[item_index] = ranked
+        return ranked
 
     def strong_co_occurrence_sets(self, min_count: float = 2.0) -> Dict[int, Set[int]]:
         """Items too strongly related to ever use as negatives (section III-B3)."""

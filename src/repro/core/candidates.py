@@ -19,8 +19,10 @@ Sigmund instead selects ~a thousand likely candidates per item:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.cooccurrence.counts import CoOccurrenceCounts
 from repro.data.catalog import Catalog
@@ -162,10 +164,148 @@ class CandidateSelector:
     purchase_lca_k: int = DEFAULT_PURCHASE_LCA_K
     max_candidates: int = DEFAULT_MAX_CANDIDATES
     co_neighbours: int = DEFAULT_CO_NEIGHBOURS
+    #: Memo of subtree item sets used by the batch methods, keyed by the
+    #: subtree's root category, as sorted int64 arrays.  ``lca_k(item, k)``
+    #: for ``k >= 1`` is exactly the subtree of the ancestor ``k - 1``
+    #: levels above the item's category, so tens of thousands of items
+    #: share a few hundred entries here.
+    _subtree_memo: Dict[str, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: ``(category, k) -> subtree root`` (the ancestor ``k - 1`` up).
+    _root_memo: Dict[Tuple[str, int], str] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Computed unions keyed by their sorted subtree-root tuple; items
+    #: whose co-occurrence neighbourhoods resolve to the same subtrees
+    #: (the common case inside one category) share one entry.
+    _union_memo: Dict[Tuple[str, ...], np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Strict-ancestor sets per category, for nested-subtree checks.
+    _ancestry_memo: Dict[str, frozenset] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_candidates < 1:
             raise DataError("max_candidates must be >= 1")
+
+    def _subtree_array(self, root_category: str) -> np.ndarray:
+        """Sorted item array of one category subtree, computed once."""
+        subtree = self._subtree_memo.get(root_category)
+        if subtree is None:
+            members = self.taxonomy.items_in(root_category, include_descendants=True)
+            subtree = np.sort(np.asarray(members, dtype=np.int64))
+            self._subtree_memo[root_category] = subtree
+        return subtree
+
+    def _expansion(self, item_index: int, k: int) -> np.ndarray:
+        """``taxonomy.lca_k`` as a sorted array, memoized for ``k >= 1``."""
+        if k < 1:
+            return np.asarray(self.taxonomy.lca_k(item_index, k), dtype=np.int64)
+        category = self.taxonomy.category_of(item_index)
+        return self._subtree_array(
+            self.taxonomy.ancestor_at_distance(category, k - 1)
+        )
+
+    def _ancestry(self, category: str) -> frozenset:
+        """Strict ancestors of ``category``, memoized."""
+        ancestry = self._ancestry_memo.get(category)
+        if ancestry is None:
+            ancestry = frozenset(
+                self.taxonomy.ancestors(category, include_self=False)
+            )
+            self._ancestry_memo[category] = ancestry
+        return ancestry
+
+    def _union_expansions(self, seeds: Sequence[int], k: int) -> np.ndarray:
+        """Sorted union of the seeds' expansions, early break included.
+
+        Mirrors the reference loop exactly: expansions accumulate in seed
+        order and stop at the first seed that pushes the running union
+        past ``max_candidates * 4``.  Because two category subtrees are
+        either disjoint or nested, the running union is tracked as a set
+        of *maximal* subtree roots: its size is the sum of their sizes
+        (so the early-break condition is evaluated exactly, without
+        materializing a hash set of items), and the final union is a
+        concatenation of disjoint sorted arrays finished by one sort.
+        """
+        cap = self.max_candidates * 4
+        included: Dict[str, np.ndarray] = {}
+        seen_categories: Set[str] = set()
+        size = 0
+        category_of = self.taxonomy.category_of
+        root_memo = self._root_memo
+        for seed in seeds:
+            category = category_of(seed)
+            if category in seen_categories:
+                continue
+            seen_categories.add(category)
+            key = (category, k)
+            root = root_memo.get(key)
+            if root is None:
+                root = self.taxonomy.ancestor_at_distance(category, k - 1)
+                root_memo[key] = root
+            if root not in included and not any(
+                ancestor in included for ancestor in self._ancestry(root)
+            ):
+                if included:
+                    # New maximal root: absorb any included roots nested
+                    # inside it so the size accounting stays exact.
+                    covered = [
+                        other
+                        for other in included
+                        if root in self._ancestry(other)
+                    ]
+                    for other in covered:
+                        size -= included.pop(other).size
+                subtree = self._subtree_array(root)
+                included[root] = subtree
+                size += subtree.size
+            if size > cap:
+                break
+        if not included:
+            return np.empty(0, dtype=np.int64)
+        if len(included) == 1:
+            return next(iter(included.values()))
+        union_key = tuple(sorted(included))
+        union = self._union_memo.get(union_key)
+        if union is None:
+            union = np.concatenate(list(included.values()))
+            union.sort()
+            self._union_memo[union_key] = union
+        return union
+
+    def _cap_array(self, item_index: int, candidates: np.ndarray) -> np.ndarray:
+        """:meth:`_cap` for a sorted unique candidate array.
+
+        Reproduces the reference ordering exactly: rank by
+        ``(-co_view_strength, item_index)`` — a stable argsort over a
+        strength vector breaks ties in ascending-index order because the
+        input is already index-sorted — keep the strongest
+        ``max_candidates``, and return them index-sorted.
+        """
+        if candidates.size <= self.max_candidates:
+            return candidates
+        strength = self.counts.co_viewed(item_index)
+        weights = np.zeros(candidates.size)
+        if strength:
+            neighbours = np.fromiter(
+                strength.keys(), dtype=np.int64, count=len(strength)
+            )
+            values = np.fromiter(
+                strength.values(), dtype=np.float64, count=len(strength)
+            )
+            slots = np.minimum(
+                np.searchsorted(candidates, neighbours), candidates.size - 1
+            )
+            present = candidates[slots] == neighbours
+            weights[slots[present]] = values[present]
+        order = np.argsort(-weights, kind="stable")[: self.max_candidates]
+        capped = candidates[order]
+        capped.sort()
+        return capped
 
     # ------------------------------------------------------------------
     # View-based (substitutes, before the purchase decision)
@@ -182,6 +322,10 @@ class CandidateSelector:
         neighbourhood — the cold-start path the taxonomy feature exists
         for.  ``same_facets`` restricts candidates to items matching the
         query item's facet values (late-funnel tightening).
+
+        This is the per-item reference implementation (one taxonomy walk
+        per seed); the inference pipeline uses :meth:`batch_view_based`,
+        which produces identical candidates from memoized expansions.
         """
         k = self.view_lca_k if lca_k is None else lca_k
         seeds = self.counts.top_co_viewed(item_index, self.co_neighbours)
@@ -197,6 +341,39 @@ class CandidateSelector:
             candidates = self._filter_facets(item_index, candidates, same_facets)
         return self._cap(item_index, candidates)
 
+    def batch_view_based(
+        self,
+        items: Sequence[int],
+        lca_k: Optional[int] = None,
+        same_facets: Optional[Sequence[str]] = None,
+    ) -> List[np.ndarray]:
+        """:meth:`view_based` for a block of items, one sorted int64 array
+        per item (values identical to the singular method's list).
+
+        Instead of re-walking the taxonomy per seed per item, expansions
+        are memoized per ``(category, k)`` as sorted arrays and unioned
+        with one ``np.unique`` per item, amortizing candidate selection
+        over a whole inference block.
+        """
+        k = self.view_lca_k if lca_k is None else lca_k
+        if same_facets or k < 1:
+            # Facet filtering / item-local expansions: reference path.
+            return [
+                np.asarray(
+                    self.view_based(item, lca_k=k, same_facets=same_facets),
+                    dtype=np.int64,
+                )
+                for item in items
+            ]
+        return [self._view_candidates_array(item, k) for item in items]
+
+    def _view_candidates_array(self, item_index: int, k: int) -> np.ndarray:
+        seeds = self.counts.top_co_viewed(item_index, self.co_neighbours)
+        if not seeds:
+            seeds = [item_index]
+        union = self._union_expansions(seeds, k)
+        return self._cap_array(item_index, union[union != item_index])
+
     # ------------------------------------------------------------------
     # Purchase-based (complements, after the purchase decision)
     # ------------------------------------------------------------------
@@ -208,6 +385,9 @@ class CandidateSelector:
         The subtraction removes substitutes of the just-bought item —
         nobody wants a second phone right after buying one — *except* for
         re-purchasable categories, where the same items are exactly right.
+
+        Like :meth:`view_based` this is the per-item reference path;
+        :meth:`batch_purchase_based` is the amortized equivalent.
         """
         k = self.purchase_lca_k if lca_k is None else lca_k
         seeds = self.counts.top_co_bought(item_index, self.co_neighbours)
@@ -234,6 +414,47 @@ class CandidateSelector:
             substitutes = set(self.taxonomy.lca_k(item_index, self.purchase_lca_k))
             candidates -= substitutes
         return self._cap(item_index, candidates)
+
+    def batch_purchase_based(
+        self, items: Sequence[int], lca_k: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """:meth:`purchase_based` for a block of items, one sorted int64
+        array per item (values identical to the singular method's list)."""
+        k = self.purchase_lca_k if lca_k is None else lca_k
+        if k < 1:
+            return [
+                np.asarray(self.purchase_based(item, lca_k=k), dtype=np.int64)
+                for item in items
+            ]
+        return [self._purchase_candidates_array(item, k) for item in items]
+
+    def _purchase_candidates_array(self, item_index: int, k: int) -> np.ndarray:
+        seeds = self.counts.top_co_bought(item_index, self.co_neighbours)
+        if not seeds:
+            seeds = self.counts.top_co_viewed(item_index, self.co_neighbours)
+        union = self._union_expansions(seeds, k)
+        candidates = union[union != item_index]
+        category = (
+            self.taxonomy.category_of(item_index)
+            if self.taxonomy.has_item(item_index)
+            else None
+        )
+        repurchasable = (
+            self.repurchase is not None
+            and category is not None
+            and self.repurchase.is_repurchasable(category)
+        )
+        if not repurchasable:
+            substitutes = self._expansion(item_index, self.purchase_lca_k)
+            if substitutes.size and candidates.size:
+                # Both arrays are sorted: a searchsorted membership probe
+                # is several times cheaper than ``np.setdiff1d``.
+                slots = np.minimum(
+                    np.searchsorted(substitutes, candidates),
+                    substitutes.size - 1,
+                )
+                candidates = candidates[substitutes[slots] != candidates]
+        return self._cap_array(item_index, candidates)
 
     # ------------------------------------------------------------------
     # Context-aware selection (funnel stage)

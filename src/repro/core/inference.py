@@ -10,6 +10,11 @@ Systems properties reproduced:
 * the input is the union of all retailers' items, **organized so one
   retailer's records are contiguous** — the mapper reloads a model only
   at retailer boundaries (model loads are counted and reported),
+* each MapReduce record is a contiguous **block of one retailer's
+  items** (``(retailer_id, (item, item, ...))``), so a record amortizes
+  one batched candidate-selection + scoring call (one ``U @ V_eff.T``
+  GEMM) instead of paying Python overhead per item; a dead-lettered
+  block degrades its retailer exactly as a dead-lettered item used to,
 * retailers are partitioned across map workers by **greedy first-fit bin
   packing weighted by inventory size** (cost is linear in items thanks to
   candidate capping),
@@ -45,6 +50,19 @@ from repro.models.base import Recommender, ScoredItem
 
 #: Top-N recommendations materialized per item per surface.
 DEFAULT_TOP_N = 10
+
+#: Items per inference block (one MapReduce record): large enough to
+#: amortize one batched scoring call, small enough that a poisoned block
+#: dead-letters without dragging the whole retailer through the mapper.
+DEFAULT_BLOCK_SIZE = 128
+
+
+def _item_blocks(n_items: int, block_size: int) -> List[Tuple[int, ...]]:
+    """Contiguous item-index blocks covering ``range(n_items)``."""
+    return [
+        tuple(range(start, min(start + block_size, n_items)))
+        for start in range(0, n_items, block_size)
+    ]
 
 
 @dataclass
@@ -100,6 +118,7 @@ class InferencePipeline:
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         failure_policy: str = SKIP_RECORD,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ):
         self.cluster = cluster
         self.registry = registry
@@ -116,6 +135,17 @@ class InferencePipeline:
         self.per_candidate_seconds = per_candidate_seconds
         self.model_load_seconds = model_load_seconds
         self.workers_per_cell = workers_per_cell
+        if block_size < 1:
+            raise SigmundError("inference block_size must be >= 1")
+        self.block_size = block_size
+        #: Candidate selectors reused across days: ``CoOccurrenceCounts``
+        #: and ``RepurchaseDetector`` are deterministic functions of the
+        #: training log, so as long as a retailer's dataset object is
+        #: unchanged there is no reason to re-count every ``run()``.
+        #: Keyed by retailer; entries pin the dataset they were built
+        #: from and are invalidated when a different (or grown) dataset
+        #: shows up.
+        self._selector_cache: Dict[str, Tuple[RetailerDataset, int, CandidateSelector]] = {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -125,6 +155,9 @@ class InferencePipeline:
     ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
         """Run inference for every retailer with a trained model."""
         stats = InferenceStats()
+        for rid in list(self._selector_cache):
+            if rid not in datasets:
+                del self._selector_cache[rid]  # offboarded retailer
         ready = {
             retailer_id: dataset
             for retailer_id, dataset in datasets.items()
@@ -230,23 +263,25 @@ class InferencePipeline:
         loader_state = {"current": None, "loads": 0}
 
         def mapper(record: object):
-            retailer_id, item_index = record  # type: ignore[misc]
+            retailer_id, items = record  # type: ignore[misc]
             if loader_state["current"] != retailer_id:
                 loader_state["current"] = retailer_id
                 loader_state["loads"] += 1
             model_number, model = models[retailer_id]
             selector = selectors[retailer_id]
-            view = self._rank(
+            items = list(items)
+            view_recs = self._rank_block(
                 model,
-                UserContext((item_index,), (EventType.VIEW,)),
-                selector.view_based(item_index),
+                [UserContext((item,), (EventType.VIEW,)) for item in items],
+                selector.batch_view_based(items),
             )
-            purchase = self._rank(
+            purchase_recs = self._rank_block(
                 model,
-                UserContext((item_index,), (EventType.CONVERSION,)),
-                selector.purchase_based(item_index),
+                [UserContext((item,), (EventType.CONVERSION,)) for item in items],
+                selector.batch_purchase_based(items),
             )
-            yield retailer_id, (item_index, model_number, view, purchase)
+            for item, view, purchase in zip(items, view_recs, purchase_recs):
+                yield retailer_id, (item, model_number, view, purchase)
 
         def reducer(key: object, values: List[object]):
             result = InferenceResult(retailer_id=str(key), model_number=-1)
@@ -257,15 +292,15 @@ class InferencePipeline:
             yield result
 
         def record_cost(record: object) -> float:
-            retailer_id, _ = record  # type: ignore[misc]
+            retailer_id, items = record  # type: ignore[misc]
             dataset = datasets[retailer_id]
             candidates = min(dataset.n_items, selectors[retailer_id].max_candidates)
-            return candidates * self.per_candidate_seconds
+            return len(items) * candidates * self.per_candidate_seconds
 
         records = [
-            (rid, item)
+            (rid, block)
             for rid in sorted(datasets)
-            for item in range(datasets[rid].n_items)
+            for block in _item_blocks(datasets[rid].n_items, self.block_size)
         ]
         n_workers = min(self.workers_per_cell, max(1, len(datasets)))
         splits = self._binpacked_splits(records, datasets, n_workers)
@@ -313,14 +348,14 @@ class InferencePipeline:
 
     def _binpacked_splits(
         self,
-        records: List[Tuple[str, int]],
+        records: List[Tuple[str, Tuple[int, ...]]],
         datasets: Dict[str, RetailerDataset],
         n_workers: int,
     ) -> List[InputSplit]:
         """One split per bin; retailers stay contiguous inside each split."""
         weights = {rid: float(ds.n_items) for rid, ds in datasets.items()}
         bins = first_fit_decreasing(weights, n_workers)
-        by_retailer: Dict[str, List[Tuple[str, int]]] = {}
+        by_retailer: Dict[str, List[Tuple[str, Tuple[int, ...]]]] = {}
         for record in records:
             by_retailer.setdefault(record[0], []).append(record)
         splits = []
@@ -332,26 +367,45 @@ class InferencePipeline:
         return [split for split in splits if split.records] or [InputSplit(0, [])]
 
     def _build_selector(self, dataset: RetailerDataset) -> CandidateSelector:
+        """Selector for one retailer, cached across days.
+
+        The cache entry pins the exact dataset object it was built from
+        (so the identity check can never alias a recycled ``id()``) plus
+        the training-log length, catching both a *replaced* dataset (the
+        usual day-over-day evolution) and one mutated in place.
+        """
+        cached = self._selector_cache.get(dataset.retailer_id)
+        if (
+            cached is not None
+            and cached[0] is dataset
+            and cached[1] == len(dataset.train)
+        ):
+            return cached[2]
         counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
         detector = RepurchaseDetector(dataset.taxonomy, dataset.train)
-        return CandidateSelector(
+        selector = CandidateSelector(
             taxonomy=dataset.taxonomy,
             counts=counts,
             catalog=dataset.catalog,
             repurchase=detector,
         )
+        self._selector_cache[dataset.retailer_id] = (
+            dataset,
+            len(dataset.train),
+            selector,
+        )
+        return selector
 
-    def _rank(
+    def _rank_block(
         self,
         model: Recommender,
-        context: UserContext,
-        candidates: Sequence[int],
-    ) -> List[ScoredItem]:
-        if not candidates:
-            return []
-        return model.recommend(
-            context,
+        contexts: List[UserContext],
+        candidate_lists: Sequence[Sequence[int]],
+    ) -> List[List[ScoredItem]]:
+        """Top-N for one block of single-item contexts in one batched call."""
+        return model.recommend_batch(
+            contexts,
+            candidate_lists,
             k=self.top_n,
-            candidates=candidates,
             exclude_context_items=True,
         )

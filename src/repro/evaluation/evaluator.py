@@ -56,12 +56,17 @@ class HoldoutEvaluator:
         sample_fraction: float = 0.1,
         sampled_threshold: int = DEFAULT_SAMPLED_THRESHOLD,
         seed: SeedLike = 1234,
+        batched: bool = True,
     ):
         self.dataset = dataset
         self.k = k
         self.sample_fraction = sample_fraction
         self.sampled_threshold = sampled_threshold
         self.seed = seed
+        #: Stack every holdout context into one score matrix instead of
+        #: looping one scoring call per example.  Same ranks either way;
+        #: the loop path survives as the parity/debugging reference.
+        self.batched = batched
 
     def evaluate(
         self, model: Recommender, force_exact: bool = False, force_sampled: bool = False
@@ -87,13 +92,43 @@ class HoldoutEvaluator:
         )
 
     def _exact_ranks(self, model: Recommender) -> List[float]:
-        """Full-catalog holdout ranks via one ``score_all`` per example.
+        """Full-catalog holdout ranks, one score matrix for all examples.
 
         Semantically identical to ``rank_of(context, held_out_item)`` over
         the whole catalog (worst-case rank among ties, diverged scores
-        rank last), but scores through the model's cached effective-item
-        matrix instead of stacking per-item vectors for every example.
+        rank last), computed as a vectorized ``>=`` reduction over a
+        single ``(examples, items)`` :meth:`Recommender.score_contexts`
+        matrix — the hot loop of every grid-search trial.
         """
+        if not self.batched:
+            return self._exact_ranks_loop(model)
+        holdout = self.dataset.holdout
+        if not holdout:
+            return []
+        contexts = [example.context for example in holdout]
+        targets = np.asarray(
+            [example.held_out_item for example in holdout], dtype=np.int64
+        )
+        # Chunk over examples so the score matrix stays bounded at
+        # (chunk, n_items) regardless of holdout size.
+        chunk = 1024
+        ranks: List[float] = []
+        for start in range(0, targets.size, chunk):
+            stop = min(start + chunk, targets.size)
+            matrix = np.asarray(
+                model.score_contexts(contexts[start:stop]), dtype=np.float64
+            )
+            target_scores = matrix[np.arange(stop - start), targets[start:stop]]
+            chunk_ranks = np.sum(matrix >= target_scores[:, None], axis=1)
+            ranks.extend(
+                np.where(
+                    np.isfinite(target_scores), chunk_ranks, matrix.shape[1]
+                ).astype(np.float64)
+            )
+        return [float(rank) for rank in ranks]
+
+    def _exact_ranks_loop(self, model: Recommender) -> List[float]:
+        """The per-example reference path (one ``score_all`` per example)."""
         ranks: List[float] = []
         for example in self.dataset.holdout:
             scores = np.asarray(model.score_all(example.context), dtype=np.float64)
@@ -111,6 +146,13 @@ class HoldoutEvaluator:
             seed=self.seed,
         )
         sample = estimator.draw_sample()
+        if self.batched:
+            return estimator.estimate_ranks(
+                model,
+                [example.context for example in self.dataset.holdout],
+                [example.held_out_item for example in self.dataset.holdout],
+                sample=sample,
+            )
         return [
             estimator.estimate_rank(
                 model, example.context, example.held_out_item, sample=sample

@@ -14,13 +14,19 @@ expected number of better items scales with the inverse sampling rate.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.sessions import UserContext
 from repro.models.base import Recommender
 from repro.rng import SeedLike, make_rng
+
+#: Examples scored per matrix in the batched path.  Chunking keeps the
+#: scored column set close to the scalar path's (sample + one target) —
+#: scoring sample + *every* target at once is wider than the loop it
+#: replaces once the holdout has thousands of distinct targets.
+_CHUNK_EXAMPLES = 256
 
 
 class SampledRankEstimator:
@@ -69,17 +75,110 @@ class SampledRankEstimator:
         pool = pool[pool != target_item]
         if pool.size == 0:
             return 1.0
-        scores = np.asarray(model.score_items(context, pool), dtype=np.float64)
-        target_score = float(
-            np.asarray(model.score_items(context, [target_item]))[0]
+        # One pooled scoring call for sample + target: scores are only
+        # comparable within a call anyway, and a second Python round trip
+        # for a single item costs as much as the whole sample.
+        scores = np.asarray(
+            model.score_items(context, np.append(pool, target_item)),
+            dtype=np.float64,
         )
+        target_score = float(scores[-1])
         if not np.isfinite(target_score):
             # Diverged models rank worst (see Recommender.rank_of).
             return float(self.n_items)
-        better = int(np.sum(scores >= target_score))
+        better = int(np.sum(scores[:-1] >= target_score))
         # Scale the observed better-count up to the full catalog.
         scale = (self.n_items - 1) / pool.size
         return 1.0 + better * scale
+
+    def estimate_ranks(
+        self,
+        model: Recommender,
+        contexts: Sequence[UserContext],
+        target_items: Sequence[int],
+        sample: Optional[Sequence[int]] = None,
+    ) -> List[float]:
+        """Batched :meth:`estimate_rank` over aligned contexts/targets.
+
+        All contexts are scored against one shared sample through a
+        single :meth:`Recommender.score_contexts` matrix; per-example
+        semantics (target always scored, target dropped from its own
+        pool, empty-pool and diverged-model fallbacks, the
+        ``1 + b * (N - 1) / s`` extrapolation) match the scalar method
+        example-for-example.  ``sample=None`` draws one shared sample.
+        """
+        contexts = list(contexts)
+        targets = np.asarray(list(target_items), dtype=np.int64)
+        if len(contexts) != targets.size:
+            raise ValueError(
+                f"got {len(contexts)} contexts but {targets.size} targets"
+            )
+        batch = targets.size
+        if batch == 0:
+            return []
+        if self.sample_size >= self.n_items:
+            # Small catalog: exact ranks over everything (rank_of semantics).
+            ranks: List[float] = []
+            for start in range(0, batch, _CHUNK_EXAMPLES):
+                stop = min(start + _CHUNK_EXAMPLES, batch)
+                matrix = np.asarray(
+                    model.score_contexts(contexts[start:stop]), dtype=np.float64
+                )
+                target_scores = matrix[
+                    np.arange(stop - start), targets[start:stop]
+                ]
+                chunk_ranks = np.sum(matrix >= target_scores[:, None], axis=1)
+                ranks.extend(
+                    np.where(
+                        np.isfinite(target_scores), chunk_ranks, matrix.shape[1]
+                    ).astype(np.float64)
+                )
+            return [float(rank) for rank in ranks]
+        pool = (
+            self.draw_sample()
+            if sample is None
+            else np.asarray(list(sample), dtype=np.int64)
+        )
+        # Score sample + targets through one matrix per chunk of examples;
+        # every example's own target is masked out of its pool afterwards.
+        # Chunking keeps the scored column set near the loop path's
+        # (sample + one target), instead of sample + every target at once.
+        ranks = []
+        for start in range(0, batch, _CHUNK_EXAMPLES):
+            stop = min(start + _CHUNK_EXAMPLES, batch)
+            ranks.extend(
+                self._estimate_rank_chunk(
+                    model, contexts[start:stop], targets[start:stop], pool
+                )
+            )
+        return ranks
+
+    def _estimate_rank_chunk(
+        self,
+        model: Recommender,
+        contexts: Sequence[UserContext],
+        targets: np.ndarray,
+        pool: np.ndarray,
+    ) -> List[float]:
+        rows = np.arange(targets.size)
+        columns, inverse = np.unique(
+            np.concatenate([pool, targets]), return_inverse=True
+        )
+        matrix = np.asarray(
+            model.score_contexts(contexts, columns), dtype=np.float64
+        )
+        sample_scores = matrix[:, inverse[: pool.size]]
+        target_scores = matrix[rows, inverse[pool.size :]]
+        in_pool = pool[None, :] != targets[:, None]
+        pool_sizes = in_pool.sum(axis=1)
+        better = np.sum(
+            (sample_scores >= target_scores[:, None]) & in_pool, axis=1
+        )
+        scale = (self.n_items - 1) / np.maximum(pool_sizes, 1)
+        ranks = 1.0 + better * scale
+        ranks = np.where(np.isfinite(target_scores), ranks, float(self.n_items))
+        ranks = np.where(pool_sizes == 0, 1.0, ranks)
+        return [float(rank) for rank in ranks]
 
     def draw_sample(self) -> np.ndarray:
         """A reusable catalog sample (shared across holdout examples)."""

@@ -10,20 +10,62 @@ notes BPR could be swapped for least-squares "easily", section VI).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro.data.sessions import UserContext
 
 
-@dataclass(frozen=True)
-class ScoredItem:
-    """An item index paired with a model score (higher is better)."""
+class ScoredItem(NamedTuple):
+    """An item index paired with a model score (higher is better).
+
+    A ``NamedTuple`` rather than a dataclass: inference materializes
+    ``n_items x surfaces x k`` of these per retailer per day, and tuple
+    construction is several times cheaper than a frozen dataclass.
+    """
 
     item_index: int
     score: float
+
+
+def _as_item_array(items: Sequence[int]) -> np.ndarray:
+    """Candidate sequence -> int64 index array (no copy when already one)."""
+    if isinstance(items, np.ndarray) and items.dtype == np.int64:
+        return items
+    return np.asarray(list(items), dtype=np.int64)
+
+
+def _exclude_items(pool: np.ndarray, context: UserContext) -> np.ndarray:
+    """Drop the context's items from ``pool``, preserving candidate order."""
+    if len(context) == 0 or pool.size == 0:
+        return pool
+    seen = np.asarray(context.item_indices, dtype=np.int64)
+    if seen.size == 1:
+        # The inference pipeline's contexts are single items.
+        return pool[pool != seen[0]]
+    if seen.size <= 16:
+        # Typical contexts are a handful of items: a broadcast compare is
+        # several times cheaper than np.isin's sort-based set machinery.
+        return pool[~(pool[:, None] == seen).any(axis=1)]
+    return pool[~np.isin(pool, seen)]
+
+
+def _top_k(pool: np.ndarray, scores: np.ndarray, k: int) -> List[ScoredItem]:
+    """Top-``k`` of a scored pool, shared by the per-item and batched paths.
+
+    Both paths feed this the same (pool, scores) arrays, so selection —
+    including argpartition's behavior under ties and NaN scores — is
+    identical by construction.
+    """
+    if pool.size == 0 or k <= 0:
+        return []
+    k = min(k, pool.size)
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top], kind="stable")]
+    # .tolist() converts to native int/float in one C pass — much cheaper
+    # than casting numpy scalars one by one.
+    return list(map(ScoredItem, pool[top].tolist(), scores[top].tolist()))
 
 
 class Recommender(abc.ABC):
@@ -62,17 +104,78 @@ class Recommender(abc.ABC):
         if candidates is None:
             pool = np.arange(self.n_items)
         else:
-            pool = np.asarray(list(candidates), dtype=np.int64)
-        if exclude_context_items and len(context) > 0:
-            seen = set(context.item_indices)
-            pool = np.array([i for i in pool if int(i) not in seen], dtype=np.int64)
+            pool = _as_item_array(candidates)
+        if exclude_context_items:
+            pool = _exclude_items(pool, context)
         if pool.size == 0:
             return []
         scores = np.asarray(self.score_items(context, pool), dtype=np.float64)
-        k = min(k, pool.size)
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top], kind="stable")]
-        return [ScoredItem(int(pool[t]), float(scores[t])) for t in top]
+        return _top_k(pool, scores, k)
+
+    def score_contexts(
+        self,
+        contexts: Sequence[UserContext],
+        item_indices: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Score matrix for a batch of contexts: ``(B, n_items)`` (or
+        ``(B, len(item_indices))`` when a column subset is given).
+
+        The default stacks one :meth:`score_all` / :meth:`score_items`
+        call per context — correct for any model; embedding models
+        override this with a single matrix multiply.
+        """
+        if item_indices is None:
+            width = self.n_items
+            rows = [self.score_all(context) for context in contexts]
+        else:
+            items = _as_item_array(item_indices)
+            width = items.size
+            rows = [self.score_items(context, items) for context in contexts]
+        if not rows:
+            return np.zeros((0, width), dtype=np.float64)
+        return np.stack([np.asarray(row, dtype=np.float64) for row in rows])
+
+    def recommend_batch(
+        self,
+        contexts: Sequence[UserContext],
+        candidate_lists: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        k: int = 10,
+        exclude_context_items: bool = True,
+    ) -> List[List[ScoredItem]]:
+        """Batched :meth:`recommend`: one list of recommendations per context.
+
+        ``candidate_lists`` aligns with ``contexts`` (``None`` entries — or
+        ``None`` for the whole argument — mean the full catalog).  Scoring
+        happens through one :meth:`score_contexts` matrix for the whole
+        batch (a single ``U @ V_eff.T`` BLAS call for embedding models),
+        then per-row top-k runs the exact same selection as the per-item
+        path, so results match :meth:`recommend` call-for-call — including
+        exclude-context-items and NaN/diverged-model semantics.
+        """
+        contexts = list(contexts)
+        if candidate_lists is None:
+            candidate_lists = [None] * len(contexts)
+        else:
+            candidate_lists = list(candidate_lists)
+        if len(candidate_lists) != len(contexts):
+            raise ValueError(
+                f"got {len(contexts)} contexts but "
+                f"{len(candidate_lists)} candidate lists"
+            )
+        if not contexts:
+            return []
+        matrix = self.score_contexts(contexts)
+        full_pool = np.arange(self.n_items)
+        results: List[List[ScoredItem]] = []
+        for row, (context, candidates) in enumerate(zip(contexts, candidate_lists)):
+            pool = full_pool if candidates is None else _as_item_array(candidates)
+            if exclude_context_items:
+                pool = _exclude_items(pool, context)
+            if pool.size == 0:
+                results.append([])
+                continue
+            results.append(_top_k(pool, matrix[row, pool], k))
+        return results
 
     def rank_of(
         self,

@@ -282,6 +282,10 @@ class BPRModel(Recommender):
         size = len(context)
         if size == 0:
             return np.zeros(0)
+        if size == 1:
+            # decay**0 == 1 and w / w == 1 exactly: skip the arithmetic.
+            # Single-item contexts are the whole offline-inference workload.
+            return np.ones(1)
         ages = np.arange(size - 1, -1, -1, dtype=np.float64)
         weights = self.params.context_decay ** ages
         if self.params.event_weighting:
@@ -298,13 +302,45 @@ class BPRModel(Recommender):
         rows = np.asarray(context.item_indices, dtype=np.int64)
         return self.context_weights(context) @ self.context_embeddings[rows]
 
+    def user_embedding_batch(self, contexts: Sequence[UserContext]) -> np.ndarray:
+        """Eq. 1 for a batch of contexts at once: a ``(B, d)`` matrix.
+
+        Contexts are flattened into one CSR segment list and combined with
+        a single scatter-add — the inference-time analogue of the CSR
+        layout :meth:`sgd_step_batch` trains on.  Empty contexts produce
+        zero rows, exactly like :meth:`user_embedding`.
+        """
+        batch = len(contexts)
+        users = np.zeros((batch, self.params.n_factors))
+        if batch == 0:
+            return users
+        row_chunks: List[np.ndarray] = []
+        weight_chunks: List[np.ndarray] = []
+        counts = np.zeros(batch, dtype=np.int64)
+        for position, context in enumerate(contexts):
+            if len(context) == 0:
+                continue
+            counts[position] = len(context)
+            row_chunks.append(np.asarray(context.item_indices, dtype=np.int64))
+            weight_chunks.append(self.context_weights(context))
+        if not row_chunks:
+            return users
+        rows = np.concatenate(row_chunks)
+        weights = np.concatenate(weight_chunks)
+        owners = np.repeat(np.arange(batch), counts)
+        np.add.at(users, owners, weights[:, None] * self.context_embeddings[rows])
+        return users
+
     # ------------------------------------------------------------------
     # Recommender interface
     # ------------------------------------------------------------------
     def score_items(
         self, context: UserContext, item_indices: Sequence[int]
     ) -> np.ndarray:
-        items = np.asarray(list(item_indices), dtype=np.int64)
+        if isinstance(item_indices, np.ndarray) and item_indices.dtype == np.int64:
+            items = item_indices
+        else:
+            items = np.asarray(list(item_indices), dtype=np.int64)
         if items.size == 0:
             return np.zeros(0, dtype=np.float64)
         user = self.user_embedding(context)
@@ -317,6 +353,27 @@ class BPRModel(Recommender):
     def score_all(self, context: UserContext) -> np.ndarray:
         user = self.user_embedding(context)
         return self.effective_item_matrix() @ user + self.item_bias
+
+    def score_contexts(
+        self,
+        contexts: Sequence[UserContext],
+        item_indices: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Batched scoring: one ``U @ V_eff.T`` GEMM for the whole batch.
+
+        This is the inference/evaluation hot path — ``B`` user rows
+        against the (cached) effective-item matrix in a single BLAS call
+        instead of ``B`` Python-level ``score_all`` round trips.
+        """
+        contexts = list(contexts)
+        users = self.user_embedding_batch(contexts)
+        phi = self.effective_item_matrix()
+        if item_indices is None:
+            return users @ phi.T + self.item_bias
+        items = np.asarray(list(item_indices), dtype=np.int64)
+        if items.size == 0:
+            return np.zeros((len(contexts), 0), dtype=np.float64)
+        return users @ phi[items].T + self.item_bias[items]
 
     # ------------------------------------------------------------------
     # Learning

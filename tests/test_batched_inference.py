@@ -1,0 +1,423 @@
+"""Parity of the batched inference fast path with the per-item reference.
+
+The batched stack (``recommend_batch``, the batch candidate selectors,
+the batched evaluator, block-based ``InferencePipeline`` records) is a
+pure optimization: every test here pins its output to the per-item code
+path it replaces — identical items, identical order, identical ranks —
+including the awkward corners (diverged NaN models, empty candidate
+sets, dead-lettered blocks).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_cluster
+from repro.cooccurrence.counts import CoOccurrenceCounts
+from repro.core.candidates import CandidateSelector, RepurchaseDetector
+from repro.core.config import ConfigRecord, OutputConfigRecord
+from repro.core.inference import InferencePipeline, _item_blocks
+from repro.core.registry import ModelRegistry, TrainedModel
+from repro.data.datasets import dataset_from_synthetic
+from repro.data.events import EventType
+from repro.data.generator import RetailerSpec, generate_retailer
+from repro.data.sessions import UserContext
+from repro.evaluation.evaluator import HoldoutEvaluator
+from repro.evaluation.sampled import SampledRankEstimator
+from repro.mapreduce.runtime import FaultPlan
+from repro.models.base import _exclude_items
+from repro.models.bpr import BPRHyperParams, BPRModel
+from repro.models.trainer import BPRTrainer
+
+_ENV = None
+
+
+def _env():
+    """Shared (dataset, model, selector) for the hypothesis properties.
+
+    Module-global rather than a fixture because ``@given`` functions
+    cannot take function-scoped pytest fixtures.
+    """
+    global _ENV
+    if _ENV is None:
+        dataset = dataset_from_synthetic(
+            generate_retailer(
+                RetailerSpec(
+                    retailer_id="batch_env",
+                    n_items=120,
+                    n_users=80,
+                    n_events=1200,
+                    taxonomy_depth=3,
+                    taxonomy_fanout=3,
+                    seed=17,
+                )
+            )
+        )
+        model = BPRModel(
+            dataset.catalog,
+            dataset.taxonomy,
+            BPRHyperParams(n_factors=8, seed=3),
+        )
+        BPRTrainer(model, dataset, max_epochs=2, batch_size=32, seed=7).train()
+        counts = CoOccurrenceCounts.from_interactions(
+            dataset.n_items, dataset.train
+        )
+        selector = CandidateSelector(
+            dataset.taxonomy,
+            counts,
+            dataset.catalog,
+            repurchase=RepurchaseDetector(dataset.taxonomy, dataset.train),
+        )
+        _ENV = (dataset, model, selector)
+    return _ENV
+
+
+def _assert_same_recs(batched, reference):
+    assert [s.item_index for s in batched] == [
+        s.item_index for s in reference
+    ]
+    assert np.allclose(
+        [s.score for s in batched],
+        [s.score for s in reference],
+        equal_nan=True,
+    )
+
+
+contexts_strategy = st.lists(
+    st.integers(min_value=0, max_value=119), min_size=1, max_size=5
+).map(
+    lambda items: UserContext(
+        tuple(items), tuple(EventType.VIEW for _ in items)
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# recommend_batch vs recommend
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.lists(contexts_strategy, min_size=0, max_size=6),
+    k=st.integers(min_value=0, max_value=15),
+    pool_seed=st.integers(min_value=0, max_value=10_000),
+    exclude=st.booleans(),
+    restrict=st.booleans(),
+)
+def test_property_recommend_batch_matches_recommend(
+    batch, k, pool_seed, exclude, restrict
+):
+    _, model, _ = _env()
+    rng = np.random.default_rng(pool_seed)
+    if restrict:
+        pools = [
+            rng.choice(model.n_items, size=int(rng.integers(0, 40)), replace=False)
+            for _ in batch
+        ]
+    else:
+        pools = [None] * len(batch)
+    batched = model.recommend_batch(
+        batch, pools, k=k, exclude_context_items=exclude
+    )
+    assert len(batched) == len(batch)
+    for context, pool, recs in zip(batch, pools, batched):
+        reference = model.recommend(
+            context, k=k, candidates=pool, exclude_context_items=exclude
+        )
+        _assert_same_recs(recs, reference)
+
+
+def test_recommend_batch_empty_candidate_sets():
+    _, model, _ = _env()
+    ctx = UserContext((0,), (EventType.VIEW,))
+    results = model.recommend_batch([ctx, ctx], [[], [5, 9]], k=3)
+    assert results[0] == []
+    assert [s.item_index for s in results[1]] == [
+        s.item_index for s in model.recommend(ctx, k=3, candidates=[5, 9])
+    ]
+
+
+def test_recommend_batch_length_mismatch_raises():
+    _, model, _ = _env()
+    ctx = UserContext((0,), (EventType.VIEW,))
+    with pytest.raises(ValueError, match="candidate lists"):
+        model.recommend_batch([ctx], [[1], [2]])
+
+
+def test_recommend_batch_diverged_model_matches_per_item():
+    dataset, model, selector = _env()
+    diverged = copy.deepcopy(model)
+    diverged.item_embeddings[:] = np.nan
+    diverged.invalidate_cache()
+    items = list(range(0, dataset.n_items, 7))
+    contexts = [UserContext((i,), (EventType.VIEW,)) for i in items]
+    pools = selector.batch_view_based(items)
+    batched = diverged.recommend_batch(contexts, pools, k=5)
+    for context, pool, recs in zip(contexts, pools, batched):
+        _assert_same_recs(
+            recs, diverged.recommend(context, k=5, candidates=pool)
+        )
+
+
+def test_exclude_items_preserves_candidate_order():
+    """Regression: exclusion must filter, never sort, the candidate pool.
+
+    Covers all three internal paths (single seen item, small broadcast
+    compare, large ``np.isin``) with a deliberately unsorted pool.
+    """
+    pool = np.array([90, 3, 57, 12, 40, 3, 88, 1], dtype=np.int64)
+    for n_seen in (1, 5, 20):
+        seen = tuple(range(n_seen))
+        context = UserContext(seen, tuple(EventType.VIEW for _ in seen))
+        kept = _exclude_items(pool, context)
+        expected = [p for p in pool.tolist() if p not in set(seen)]
+        assert kept.tolist() == expected
+
+
+# ----------------------------------------------------------------------
+# batch candidate selection vs the per-item selectors
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    lca_k=st.integers(min_value=0, max_value=3),
+    start=st.integers(min_value=0, max_value=119),
+    stride=st.integers(min_value=1, max_value=9),
+)
+def test_property_batch_candidates_match_singular(lca_k, start, stride):
+    dataset, _, selector = _env()
+    items = list(range(start, dataset.n_items, stride))
+    views = selector.batch_view_based(items, lca_k=lca_k)
+    buys = selector.batch_purchase_based(items, lca_k=lca_k)
+    for item, view, buy in zip(items, views, buys):
+        assert view.tolist() == selector.view_based(item, lca_k=lca_k)
+        assert buy.tolist() == selector.purchase_based(item, lca_k=lca_k)
+
+
+def test_batch_view_based_same_facets_matches_singular():
+    dataset, _, selector = _env()
+    items = list(range(dataset.n_items))
+    views = selector.batch_view_based(items, same_facets=("brand",))
+    for item, view in zip(items, views):
+        assert view.tolist() == selector.view_based(item, same_facets=("brand",))
+
+
+def test_batch_candidates_exclude_self_and_respect_cap():
+    dataset, _, selector = _env()
+    items = list(range(dataset.n_items))
+    for item, candidates in zip(items, selector.batch_view_based(items)):
+        assert item not in candidates
+        assert candidates.size <= selector.max_candidates
+
+
+# ----------------------------------------------------------------------
+# batched evaluator vs the per-example loop
+# ----------------------------------------------------------------------
+def test_exact_evaluator_batched_matches_loop():
+    dataset, model, _ = _env()
+    batched = HoldoutEvaluator(dataset, batched=True).evaluate(
+        model, force_exact=True
+    )
+    loop = HoldoutEvaluator(dataset, batched=False).evaluate(
+        model, force_exact=True
+    )
+    assert batched.ranks == loop.ranks
+    assert batched.metrics == loop.metrics
+
+
+def test_sampled_evaluator_batched_matches_loop():
+    dataset, model, _ = _env()
+    batched = HoldoutEvaluator(dataset, batched=True, seed=77).evaluate(
+        model, force_sampled=True
+    )
+    loop = HoldoutEvaluator(dataset, batched=False, seed=77).evaluate(
+        model, force_sampled=True
+    )
+    assert batched.sampled and loop.sampled
+    assert batched.ranks == loop.ranks
+
+
+def test_sampled_evaluator_chunking_is_invisible(monkeypatch):
+    """Chunk-boundary placement must not change a single rank."""
+    dataset, model, _ = _env()
+    baseline = HoldoutEvaluator(dataset, batched=True, seed=5).evaluate(
+        model, force_sampled=True
+    )
+    monkeypatch.setattr("repro.evaluation.sampled._CHUNK_EXAMPLES", 3)
+    chunked = HoldoutEvaluator(dataset, batched=True, seed=5).evaluate(
+        model, force_sampled=True
+    )
+    assert chunked.ranks == baseline.ranks
+
+
+def test_evaluator_diverged_model_ranks_worst_in_both_paths():
+    dataset, model, _ = _env()
+    diverged = copy.deepcopy(model)
+    diverged.item_embeddings[:] = np.nan
+    diverged.invalidate_cache()
+    for force in ("exact", "sampled"):
+        kwargs = {f"force_{force}": True}
+        batched = HoldoutEvaluator(dataset, batched=True).evaluate(
+            diverged, **kwargs
+        )
+        loop = HoldoutEvaluator(dataset, batched=False).evaluate(
+            diverged, **kwargs
+        )
+        assert batched.ranks == loop.ranks
+        assert all(rank == dataset.n_items for rank in batched.ranks)
+
+
+def test_estimate_ranks_matches_estimate_rank_with_shared_sample():
+    dataset, model, _ = _env()
+    estimator = SampledRankEstimator(dataset.n_items, seed=9)
+    sample = estimator.draw_sample()
+    holdout = dataset.holdout[:25]
+    contexts = [example.context for example in holdout]
+    targets = [example.held_out_item for example in holdout]
+    batched = estimator.estimate_ranks(model, contexts, targets, sample=sample)
+    scalar = [
+        estimator.estimate_rank(model, context, target, sample=sample)
+        for context, target in zip(contexts, targets)
+    ]
+    assert batched == scalar
+
+
+# ----------------------------------------------------------------------
+# block-based InferencePipeline: equivalence + failure semantics
+# ----------------------------------------------------------------------
+def _pipeline_dataset(retailer_id, seed):
+    return dataset_from_synthetic(
+        generate_retailer(
+            RetailerSpec(
+                retailer_id=retailer_id,
+                n_items=40,
+                n_users=25,
+                n_events=260,
+                taxonomy_depth=2,
+                taxonomy_fanout=3,
+                seed=seed,
+            )
+        )
+    )
+
+
+def _publish(registry, dataset):
+    model = BPRModel(
+        dataset.catalog, dataset.taxonomy, BPRHyperParams(n_factors=4, seed=2)
+    )
+    BPRTrainer(model, dataset, max_epochs=2, seed=5).train()
+    registry.publish(
+        TrainedModel(
+            model=model,
+            output=OutputConfigRecord(
+                config=ConfigRecord(dataset.retailer_id, 0, model.params),
+                metrics={"map@10": 0.5},
+            ),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline_fleet():
+    datasets = {
+        "blk_a": _pipeline_dataset("blk_a", seed=21),
+        "blk_b": _pipeline_dataset("blk_b", seed=22),
+    }
+    registry = ModelRegistry()
+    for dataset in datasets.values():
+        _publish(registry, dataset)
+    return datasets, registry
+
+
+def _run_pipeline(datasets, registry, **kwargs):
+    pipeline = InferencePipeline(
+        build_cluster(n_cells=1, machines_per_cell=4),
+        registry,
+        top_n=5,
+        **kwargs,
+    )
+    return pipeline, *pipeline.run(datasets)
+
+
+def test_item_blocks_cover_catalog_contiguously():
+    blocks = _item_blocks(10, 4)
+    assert blocks == [(0, 1, 2, 3), (4, 5, 6, 7), (8, 9)]
+    assert _item_blocks(0, 4) == []
+
+
+def test_block_size_does_not_change_recommendations(pipeline_fleet):
+    """Blocked records pick the same items in the same order as 1-item
+    records (scores agree to float tolerance: gemm vs gemv round-off)."""
+    datasets, registry = pipeline_fleet
+    _, blocked, _ = _run_pipeline(datasets, registry, block_size=16)
+    _, single, _ = _run_pipeline(datasets, registry, block_size=1)
+    assert blocked.keys() == single.keys()
+    for rid in blocked:
+        for surface in ("view_recs", "purchase_recs"):
+            table_b = getattr(blocked[rid], surface)
+            table_s = getattr(single[rid], surface)
+            assert table_b.keys() == table_s.keys()
+            for item in table_b:
+                _assert_same_recs(table_b[item], table_s[item])
+
+
+def test_dead_lettered_block_degrades_only_its_retailer(pipeline_fleet):
+    datasets, registry = pipeline_fleet
+    plan = FaultPlan().fail_mapper(
+        lambda r: isinstance(r, tuple) and r[0] == "blk_a"
+    )
+    _, results, stats = _run_pipeline(
+        datasets, registry, block_size=16, fault_plan=plan
+    )
+    assert stats.failed_retailers == ["blk_a"]
+    assert "blk_a" not in results
+    assert "blk_a" in stats.failure_reasons
+    # The healthy retailer still publishes a complete table.
+    assert len(results["blk_b"].view_recs) == datasets["blk_b"].n_items
+
+
+def test_one_poisoned_block_degrades_whole_retailer(pipeline_fleet):
+    """A single bad block means a partial table: the retailer degrades."""
+    datasets, registry = pipeline_fleet
+    plan = FaultPlan().fail_mapper(
+        lambda r: isinstance(r, tuple) and r[0] == "blk_a" and 0 in r[1]
+    )
+    _, results, stats = _run_pipeline(
+        datasets, registry, block_size=16, fault_plan=plan
+    )
+    assert stats.failed_retailers == ["blk_a"]
+    assert "blk_a" not in results
+    assert "blk_b" in results
+
+
+def test_transient_attempt_fault_is_retried_not_degraded(pipeline_fleet):
+    """Task-attempt faults (preemption-style) retry; blocks survive."""
+    datasets, registry = pipeline_fleet
+    plan = FaultPlan().fail_attempts(
+        lambda r: isinstance(r, tuple) and r[0] == "blk_a", failures=1
+    )
+    _, results, stats = _run_pipeline(
+        datasets, registry, block_size=16, fault_plan=plan
+    )
+    assert stats.failed_retailers == []
+    assert len(results["blk_a"].view_recs) == datasets["blk_a"].n_items
+
+
+def test_selector_cache_reused_across_days(pipeline_fleet):
+    datasets, registry = pipeline_fleet
+    pipeline, _, _ = _run_pipeline(datasets, registry, block_size=16)
+    first = {
+        rid: entry[2] for rid, entry in pipeline._selector_cache.items()
+    }
+    pipeline.run(datasets, day=1)
+    for rid, selector in pipeline._selector_cache.items():
+        assert selector[2] is first[rid], "selector must be reused day-over-day"
+    # A replaced dataset object invalidates only its own entry.
+    replaced = dict(datasets)
+    replaced["blk_a"] = _pipeline_dataset("blk_a", seed=21)
+    pipeline.run(replaced, day=2)
+    assert pipeline._selector_cache["blk_a"][2] is not first["blk_a"]
+    assert pipeline._selector_cache["blk_b"][2] is first["blk_b"]
