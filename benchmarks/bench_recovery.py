@@ -1,0 +1,272 @@
+"""E23 — crash recovery: lost work and recovery cost vs checkpoint policy.
+
+The paper runs everything on pre-emptible capacity and bounds per-task
+work loss with time-interval checkpoints (section IV-B3); this
+experiment measures the *coordinator*-death story built on top of them:
+a :class:`CrashPlan` kills the daily run at a parameterized point, and
+``SigmundService.recover()`` resumes the open day from the run journal.
+
+The matrix crosses checkpoint interval (every epoch / every ~2 epochs /
+effectively never) with kill point (training epoch deep into the sweep,
+an inference cell, the publish step) and reports:
+
+* **lost epochs** — training epochs re-run during recovery beyond what
+  the uninterrupted run needed (epochs are counted at the kill-point
+  hook, so the number is exact, not estimated),
+* **recovery wall time** as a fraction of a full day's run,
+* **equivalence** — recovered store versions, total billed cost, and
+  availability must match the uninterrupted run exactly; any divergence
+  fails the benchmark.
+
+Results land in ``benchmarks/results/e23.txt`` and ``BENCH_recovery.json``.
+``E23_FAST=1`` runs one matrix cell and asserts the no-replay invariant
+(completed retailers are not retrained) — the CI smoke mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.bench_util import emit, fmt_row
+from repro import build_cluster
+from repro.core.grid import GridSpec
+from repro.core.recovery import CrashPlan
+from repro.core.service import SigmundService
+from repro.core.training import TrainerSettings
+from repro.data.datasets import dataset_from_synthetic
+from repro.data.generator import RetailerSpec, generate_retailer
+from repro.exceptions import SimulatedCrash
+
+RESULTS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_recovery.json"
+
+N_RETAILERS = 2
+EPOCHS = 4
+
+#: One config per retailer so the epoch accounting stays legible.
+GRID = GridSpec(
+    n_factors=(4,),
+    learning_rates=(0.05,),
+    reg_items=(0.01,),
+    reg_contexts=(0.01,),
+    use_taxonomy=(False,),
+    use_brand=(False,),
+    use_price=(False,),
+    max_configs=1,
+)
+
+
+def make_settings(checkpoint_interval: float) -> TrainerSettings:
+    # convergence_tol=0 keeps every run at exactly EPOCHS epochs, so the
+    # lost-work numbers are not blurred by early stopping.
+    return TrainerSettings(
+        max_epochs_full=EPOCHS,
+        max_epochs_incremental=1,
+        sampler="uniform",
+        convergence_tol=0.0,
+        checkpoint_interval_seconds=checkpoint_interval,
+    )
+
+
+def make_service(settings: TrainerSettings, crash_plan=None) -> SigmundService:
+    service = SigmundService(
+        build_cluster(n_cells=2, machines_per_cell=4),
+        grid=GRID,
+        settings=settings,
+        crash_plan=crash_plan,
+    )
+    for i in range(N_RETAILERS):
+        service.onboard(
+            dataset_from_synthetic(
+                generate_retailer(
+                    RetailerSpec(
+                        retailer_id=f"r{i}",
+                        n_items=40,
+                        n_users=25,
+                        n_events=260,
+                        taxonomy_depth=2,
+                        taxonomy_fanout=3,
+                        seed=100 + i,
+                    )
+                )
+            )
+        )
+    return service
+
+
+def epoch_seconds(service: SigmundService) -> float:
+    """Simulated seconds per training epoch of the largest retailer."""
+    settings = service.training.settings
+    interactions = max(
+        ds.n_train_interactions for ds in service._datasets.values()
+    )
+    return (
+        interactions * settings.seconds_per_sgd_step / settings.thread_speedup()
+    )
+
+
+def epochs_run(plan: CrashPlan) -> int:
+    """Exact count of executed training epochs (each epoch hits the hook)."""
+    return sum(1 for stage, _ in plan.checked if stage == "train_epoch")
+
+
+def snapshot(service: SigmundService) -> tuple:
+    return (
+        tuple(sorted(service.substitutes_store.versions().items())),
+        tuple(sorted(service.accessories_store.versions().items())),
+        round(service.total_cost(), 9),
+        service.reports[-1].availability,
+    )
+
+
+def run_cell(interval_name: str, interval: float, kill: dict) -> dict:
+    settings = make_settings(interval)
+
+    # Uninterrupted reference: same settings, a hook-only CrashPlan so the
+    # epoch counter sees identical instrumentation.
+    baseline_plan = CrashPlan()
+    baseline = make_service(settings, crash_plan=baseline_plan)
+    t0 = time.perf_counter()
+    baseline.run_day()
+    run_seconds = time.perf_counter() - t0
+    baseline_epochs = epochs_run(baseline_plan)
+
+    crash_plan = CrashPlan().crash_at(
+        kill["stage"], match=kill.get("match"), nth=kill.get("nth")
+    )
+    service = make_service(settings, crash_plan=crash_plan)
+    try:
+        service.run_day()
+        crashed = False
+    except SimulatedCrash:
+        crashed = True
+    t0 = time.perf_counter()
+    if crashed:
+        report = service.recover()
+        assert report is not None
+    recovery_seconds = time.perf_counter() - t0
+
+    assert crashed, f"kill point {kill['name']} never fired"
+    assert snapshot(service) == snapshot(baseline), (
+        f"recovered run diverged from uninterrupted run "
+        f"({interval_name}, {kill['name']})"
+    )
+    # No-replay invariant: exactly one journaled training task per
+    # retailer (a replay would have raised inside the journal).
+    assert service.journal.task_count(0, "train") == N_RETAILERS
+
+    return {
+        "interval": interval_name,
+        "interval_seconds": interval,
+        "kill_point": kill["name"],
+        "lost_epochs": epochs_run(crash_plan) - baseline_epochs,
+        "baseline_epochs": baseline_epochs,
+        "recovery_seconds": recovery_seconds,
+        "run_seconds": run_seconds,
+        "recovery_fraction": recovery_seconds / max(run_seconds, 1e-9),
+        "equivalent": True,
+    }
+
+
+def kill_points(per_epoch: float) -> list:
+    del per_epoch  # kill points are epoch-indexed, not time-indexed
+    return [
+        {
+            # Deep into the second retailer's training: the first
+            # retailer is already journaled complete.
+            "name": f"train@e{EPOCHS - 1}",
+            "stage": "train_epoch",
+            "match": lambda label: label.startswith("r1/")
+            and label.endswith(f"@e{EPOCHS - 1}"),
+        },
+        {"name": "infer_cell", "stage": "infer_cell", "nth": 0},
+        {"name": "publish", "stage": "publish", "nth": 0},
+    ]
+
+
+def test_recovery(capsys):
+    fast = bool(os.environ.get("E23_FAST"))
+
+    probe = make_service(make_settings(300.0))
+    per_epoch = epoch_seconds(probe)
+    intervals = [
+        ("every-epoch", per_epoch * 0.5),
+        ("2-epochs", per_epoch * 2.0),
+        ("never", 1e9),
+    ]
+    kills = kill_points(per_epoch)
+    if fast:
+        intervals, kills = intervals[:1], kills[:1]
+
+    rows = [
+        run_cell(name, interval, kill)
+        for name, interval in intervals
+        for kill in kills
+    ]
+
+    widths = [12, 12, 11, 11, 12, 10]
+    lines = [
+        f"{N_RETAILERS} retailers x {EPOCHS} epochs; journaled daily run, "
+        "crash + recover vs uninterrupted",
+        "",
+        fmt_row(
+            "interval", "kill point", "lost ep.", "base ep.",
+            "recover/run", "equiv",
+            widths=widths,
+        ),
+    ]
+    for row in rows:
+        lines.append(
+            fmt_row(
+                row["interval"],
+                row["kill_point"],
+                row["lost_epochs"],
+                row["baseline_epochs"],
+                f"{row['recovery_fraction']:.2f}x",
+                "yes" if row["equivalent"] else "NO",
+                widths=widths,
+            )
+        )
+    emit("E23", "crash recovery: lost work vs checkpoint interval", lines, capsys)
+
+    by_cell = {(row["interval"], row["kill_point"]) for row in rows}
+    assert len(by_cell) == len(rows)
+    train_kill = f"train@e{EPOCHS - 1}"
+    lost = {
+        row["interval"]: row["lost_epochs"]
+        for row in rows
+        if row["kill_point"] == train_kill
+    }
+    if fast:
+        # CI smoke: recovery re-ran at most the work since the last
+        # checkpoint, and completed retailers were never replayed (the
+        # run_cell assertions above enforce the journal invariant).
+        assert lost["every-epoch"] <= 2
+        return
+
+    # Checkpoints bound lost work: killing the last epoch with no usable
+    # checkpoint re-runs (almost) the whole task; checkpointing every
+    # epoch re-runs at most one epoch (plus the killed one).
+    assert lost["every-epoch"] <= 2
+    assert lost["never"] >= EPOCHS - 1
+    assert lost["every-epoch"] <= lost["2-epochs"] <= lost["never"]
+    # Non-training kill points lose no training epochs at all.
+    for row in rows:
+        if row["kill_point"] != train_kill:
+            assert row["lost_epochs"] == 0, row
+
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "experiment": "E23",
+                "source": "benchmarks/bench_recovery.py",
+                "n_retailers": N_RETAILERS,
+                "epochs": EPOCHS,
+                "cells": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

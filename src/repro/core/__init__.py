@@ -21,12 +21,21 @@ This package is the paper's primary contribution — everything that turns
 
 from repro.core.binpack import first_fit_decreasing, makespan
 from repro.core.candidates import CandidateSelector, RepurchaseDetector
-from repro.core.checkpoint import CheckpointManager
+from repro.core.checkpoint import (
+    CheckpointFaultPlan,
+    CheckpointManager,
+    CheckpointStats,
+    CheckpointStorage,
+    FilesystemCheckpointStorage,
+    InMemoryCheckpointStorage,
+)
 from repro.core.config import ConfigRecord, OutputConfigRecord
 from repro.core.grid import GridSpec, generate_configs
 from repro.core.hybrid import HybridRecommender
 from repro.core.inference import InferencePipeline, InferenceResult
+from repro.core.journal import JournalError, RunJournal
 from repro.core.monitoring import QualityMonitor
+from repro.core.recovery import KILL_STAGES, CrashPlan
 from repro.core.registry import ModelRegistry, TrainedModel
 from repro.core.service import DailyRunReport, SigmundService
 from repro.core.sweep import SweepPlan, SweepPlanner
@@ -45,6 +54,15 @@ __all__ = [
     "TrainingPipeline",
     "HogwildTrainer",
     "CheckpointManager",
+    "CheckpointStorage",
+    "CheckpointStats",
+    "CheckpointFaultPlan",
+    "InMemoryCheckpointStorage",
+    "FilesystemCheckpointStorage",
+    "RunJournal",
+    "JournalError",
+    "CrashPlan",
+    "KILL_STAGES",
     "CandidateSelector",
     "RepurchaseDetector",
     "InferencePipeline",

@@ -33,6 +33,7 @@ from repro.cluster.preemption import PreemptionModel
 from repro.cooccurrence.counts import CoOccurrenceCounts
 from repro.core.binpack import first_fit_decreasing
 from repro.core.candidates import CandidateSelector, RepurchaseDetector
+from repro.core.recovery import CrashPlan
 from repro.core.registry import ModelRegistry
 from repro.data.datasets import RetailerDataset
 from repro.data.events import EventType
@@ -119,6 +120,7 @@ class InferencePipeline:
         fault_plan: Optional[FaultPlan] = None,
         failure_policy: str = SKIP_RECORD,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        crash_plan: Optional["CrashPlan"] = None,
     ):
         self.cluster = cluster
         self.registry = registry
@@ -138,6 +140,7 @@ class InferencePipeline:
         if block_size < 1:
             raise SigmundError("inference block_size must be >= 1")
         self.block_size = block_size
+        self.crash_plan = crash_plan
         #: Candidate selectors reused across days: ``CoOccurrenceCounts``
         #: and ``RepurchaseDetector`` are deterministic functions of the
         #: training log, so as long as a retailer's dataset object is
@@ -148,13 +151,25 @@ class InferencePipeline:
         self._selector_cache: Dict[str, Tuple[RetailerDataset, int, CandidateSelector]] = {}
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
-    def run(
-        self, datasets: Dict[str, RetailerDataset], day: int = 0
-    ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
-        """Run inference for every retailer with a trained model."""
-        stats = InferenceStats()
+    def plan(
+        self, datasets: Dict[str, RetailerDataset]
+    ) -> List[Tuple[str, List[str]]]:
+        """Cell -> retailer-bin assignment for one day's inference.
+
+        Split retailers across cells proportionally to free capacity,
+        then bin-pack within each cell.  Cells are ordered by their
+        capacity share and bins by total weight before pairing, so the
+        heaviest retailer group lands on the cell with the most spare
+        capacity instead of whatever dict insertion order yields.
+
+        Exposed separately from :meth:`run` so the service layer can
+        journal the assignment as *intent* before executing any cell: a
+        recovery then re-runs only the incomplete cells with the
+        original bins, rather than re-planning against a cluster whose
+        free capacity has since changed.
+        """
         for rid in list(self._selector_cache):
             if rid not in datasets:
                 del self._selector_cache[rid]  # offboarded retailer
@@ -164,13 +179,7 @@ class InferencePipeline:
             if self.registry.has_models(retailer_id)
         }
         if not ready:
-            return {}, stats
-
-        # Split retailers across cells proportionally to free capacity,
-        # then bin-pack within each cell.  Cells are ordered by their
-        # capacity share and bins by total weight before pairing, so the
-        # heaviest retailer group lands on the cell with the most spare
-        # capacity instead of whatever dict insertion order yields.
+            return []
         weights = {rid: float(ds.n_items) for rid, ds in ready.items()}
         cell_shares = self.cluster.split_by_capacity(len(ready))
         cells = sorted(
@@ -179,15 +188,34 @@ class InferencePipeline:
         )
         cell_bins = first_fit_decreasing(weights, max(1, len(cells)))
         cell_bins.sort(key=lambda group: -sum(weights[rid] for rid in group))
+        return [
+            (cell_name, list(group))
+            for cell_name, group in zip(cells, cell_bins)
+            if group
+        ]
 
+    def run(
+        self,
+        datasets: Dict[str, RetailerDataset],
+        day: int = 0,
+        assignment: Optional[List[Tuple[str, List[str]]]] = None,
+    ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
+        """Run inference for every retailer with a trained model.
+
+        ``assignment`` overrides the cell plan (see :meth:`plan`); the
+        recovery path passes the journaled one.
+        """
+        stats = InferenceStats()
+        if assignment is None:
+            assignment = self.plan(datasets)
         results: Dict[str, InferenceResult] = {}
         failed: Dict[str, str] = {}
-        for cell_name, retailer_group in zip(cells, cell_bins):
+        for cell_name, retailer_group in assignment:
             if not retailer_group:
                 continue
-            group = {rid: ready[rid] for rid in retailer_group}
+            group = {rid: datasets[rid] for rid in retailer_group}
             try:
-                cell_results, job_stats, loads, cell_failed = self._run_cell_job(
+                cell_results, job_stats, loads, cell_failed = self.run_cell(
                     cell_name, group, day
                 )
             except SigmundError as exc:
@@ -199,30 +227,51 @@ class InferencePipeline:
                 continue
             results.update(cell_results)
             failed.update(cell_failed)
-            stats.per_cell[cell_name] = job_stats
-            stats.total_cost += job_stats.cost
-            stats.preemptions += job_stats.preemptions
-            stats.model_loads += loads
-            stats.records_skipped += job_stats.records_skipped
-            stats.makespan_seconds = max(
-                stats.makespan_seconds, job_stats.makespan_seconds
-            )
+            self.fold_cell(stats, cell_name, job_stats, loads)
+        self.finalize_stats(stats, results, failed)
+        return results, stats
+
+    @staticmethod
+    def fold_cell(
+        stats: InferenceStats, cell_name: str, job_stats: JobStats, loads: int
+    ) -> None:
+        """Fold one completed cell job into the run-wide stats."""
+        stats.per_cell[cell_name] = job_stats
+        stats.total_cost += job_stats.cost
+        stats.preemptions += job_stats.preemptions
+        stats.model_loads += loads
+        stats.records_skipped += job_stats.records_skipped
+        stats.makespan_seconds = max(
+            stats.makespan_seconds, job_stats.makespan_seconds
+        )
+
+    @staticmethod
+    def finalize_stats(
+        stats: InferenceStats,
+        results: Dict[str, InferenceResult],
+        failed: Dict[str, str],
+    ) -> None:
+        """Derive the run-wide aggregates once every cell has been folded."""
         stats.items_processed = sum(
             len(result.view_recs) for result in results.values()
         )
         stats.failed_retailers = sorted(failed)
         stats.failure_reasons = failed
-        return results, stats
 
     # ------------------------------------------------------------------
     # Per-cell job
     # ------------------------------------------------------------------
-    def _run_cell_job(
+    def run_cell(
         self,
         cell_name: str,
         datasets: Dict[str, RetailerDataset],
         day: int,
     ) -> Tuple[Dict[str, InferenceResult], JobStats, int, Dict[str, str]]:
+        """Run one cell's inference job; the journaled-recovery unit.
+
+        Returns ``(results, job_stats, model_loads, failed)``.  Raising
+        :class:`SigmundError` means the whole cell job died.
+        """
         # Per-retailer preload isolation: a retailer whose selector or
         # model cannot be prepared (stale model after a catalog grew,
         # missing registry entry) is excluded from the job and reported,
@@ -270,6 +319,14 @@ class InferencePipeline:
             model_number, model = models[retailer_id]
             selector = selectors[retailer_id]
             items = list(items)
+            if self.crash_plan is not None and items:
+                # Mid-mapper coordinator kill: mappers run before any
+                # billing or scheduling-RNG draws, so an abort here costs
+                # nothing and leaves the runtime's random stream aligned
+                # for the recovery re-run.
+                self.crash_plan.check(
+                    "infer_block", f"{retailer_id}@{items[0]}"
+                )
             view_recs = self._rank_block(
                 model,
                 [UserContext((item,), (EventType.VIEW,)) for item in items],

@@ -1,0 +1,141 @@
+"""The daily-run journal: a write-ahead intent log for crash recovery.
+
+The paper runs Sigmund entirely on pre-emptible capacity (section IV-B3),
+which protects *tasks* via checkpoints — but the daily coordinator itself
+can die mid-run, stranding a half-trained, half-published day.  The
+journal closes that gap with classic WAL discipline:
+
+1. ``begin_day`` records the day's **intent** before any work starts —
+   the sweep kind and the exact config records planned, so recovery
+   replans nothing (the plan may depend on registry state that later
+   work mutates).
+2. ``log_task`` records each unit of work **after** it completed (and
+   after its side effects — registry publish, ledger billing — landed),
+   together with a payload carrying everything the final report needs.
+   Logging the same task twice raises: recovery must never replay
+   completed work, and the journal is where that invariant lives.
+3. ``commit_day`` marks the day durable; an uncommitted day is exactly
+   what :meth:`~repro.core.service.SigmundService.recover` resumes.
+
+Like the checkpoint store, the journal is an in-memory stand-in for the
+shared filesystem (payloads hold live objects where a real system would
+reference files); what it models faithfully is the *ordering*: intent
+before work, completion after effects, commit last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import SigmundError
+
+
+class JournalError(SigmundError):
+    """The run journal was used out of protocol (duplicate task, no day)."""
+
+
+@dataclass
+class JournalEntry:
+    """One journal record: begin / task-completion / commit."""
+
+    day: int
+    kind: str  # "begin" | "task" | "commit"
+    phase: str = ""  # for tasks: "train" | "inference_plan" | "infer_cell" | "publish"
+    task_id: str = ""
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class RunJournal:
+    """Append-only log of daily-run intents and completions."""
+
+    def __init__(self) -> None:
+        self.entries: List[JournalEntry] = []
+        # day -> phase -> task_id -> payload (completion index).
+        self._done: Dict[int, Dict[str, Dict[str, Dict[str, object]]]] = {}
+        self._begun: Dict[int, Dict[str, object]] = {}
+        self._committed: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def begin_day(self, day: int, payload: Dict[str, object]) -> None:
+        """Log the day's intent; re-beginning an open day is a no-op.
+
+        (Recovery re-executes the day through the same code path as the
+        original run; the original ``begin`` record must win.)
+        """
+        if day in self._begun:
+            if self._committed.get(day):
+                raise JournalError(f"day {day} is already committed")
+            return
+        self._begun[day] = payload
+        self.entries.append(JournalEntry(day=day, kind="begin", payload=payload))
+
+    def log_task(
+        self,
+        day: int,
+        phase: str,
+        task_id: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record one completed unit of work; duplicates raise loudly."""
+        if day not in self._begun:
+            raise JournalError(f"day {day} was never begun")
+        tasks = self._done.setdefault(day, {}).setdefault(phase, {})
+        if task_id in tasks:
+            raise JournalError(
+                f"task {phase}/{task_id!r} already logged for day {day}: "
+                "completed work must never be replayed"
+            )
+        tasks[task_id] = payload or {}
+        self.entries.append(
+            JournalEntry(
+                day=day, kind="task", phase=phase, task_id=task_id,
+                payload=payload or {},
+            )
+        )
+
+    def commit_day(self, day: int) -> None:
+        if day not in self._begun:
+            raise JournalError(f"day {day} was never begun")
+        if self._committed.get(day):
+            raise JournalError(f"day {day} is already committed")
+        self._committed[day] = True
+        self.entries.append(JournalEntry(day=day, kind="commit"))
+
+    # ------------------------------------------------------------------
+    # Reading (the recovery path)
+    # ------------------------------------------------------------------
+    def open_day(self) -> Optional[int]:
+        """The begun-but-uncommitted day, if any (at most one exists)."""
+        for day in sorted(self._begun, reverse=True):
+            if not self._committed.get(day):
+                return day
+        return None
+
+    def day_intent(self, day: int) -> Dict[str, object]:
+        if day not in self._begun:
+            raise JournalError(f"day {day} was never begun")
+        return self._begun[day]
+
+    def is_done(self, day: int, phase: str, task_id: str) -> bool:
+        return task_id in self._done.get(day, {}).get(phase, {})
+
+    def task_payload(self, day: int, phase: str, task_id: str) -> Dict[str, object]:
+        try:
+            return self._done[day][phase][task_id]
+        except KeyError:
+            raise JournalError(
+                f"no completed task {phase}/{task_id!r} for day {day}"
+            ) from None
+
+    def completed(self, day: int, phase: str) -> Dict[str, Dict[str, object]]:
+        """task_id -> payload of every completed task in one phase."""
+        return dict(self._done.get(day, {}).get(phase, {}))
+
+    def is_committed(self, day: int) -> bool:
+        return bool(self._committed.get(day))
+
+    def task_count(self, day: int, phase: str) -> int:
+        return len(self._done.get(day, {}).get(phase, {}))

@@ -98,6 +98,21 @@ class QualityMonitor:
     def metric_history(self, retailer_id: str) -> Dict[int, float]:
         return dict(self._history.get(retailer_id, {}))
 
+    def last_map(self, retailer_id: str, before_day: int) -> Optional[float]:
+        """The most recent recorded MAP strictly before ``before_day``.
+
+        The publish gate's baseline: today's candidate table is sanity-
+        checked against the last run that actually served.  ``None`` when
+        the retailer has no earlier history (nothing to compare against —
+        the gate skips the MAP check rather than blocking a first
+        publish).
+        """
+        history = self._history.get(retailer_id, {})
+        previous_day = max((d for d in history if d < before_day), default=None)
+        if previous_day is None:
+            return None
+        return history[previous_day]
+
     def fleet_summary(self, day: int) -> Dict[str, float]:
         """Aggregate MAP stats over every retailer with a value for ``day``."""
         values = [

@@ -10,26 +10,43 @@ This ties every subsystem together into the loop the paper describes:
 4. every ``full_restart_every`` days, discard history and re-run the full
    grid — the terms-of-service constraint that models reflect only recent
    history, which also re-finds hyper-parameters after data drift.
+
+Crash recovery: every daily run is journaled (intent first, completions
+after their side effects), so a coordinator death mid-run — simulated by
+a :class:`~repro.core.recovery.CrashPlan` — is resumed by
+:meth:`SigmundService.recover`, which re-executes the open day through
+the same code path, skipping journaled work.  Completed retailers are
+not retrained, completed cells are not re-inferred, billed cost is never
+double-billed, and the final report matches an uninterrupted run.
+
+Publish safety: before a retailer's tables reach the stores they pass a
+:class:`~repro.serving.gate.PublishGate`; a rejected table keeps the
+last-good one serving and surfaces through the quality monitor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cell import Cluster
 from repro.cluster.cost import CostLedger, ResourcePricing
 from repro.cluster.preemption import PreemptionModel
 from repro.core.candidates import RepurchaseDetector
+from repro.core.checkpoint import CheckpointFaultPlan, CheckpointStorage
+from repro.core.config import ConfigRecord
 from repro.core.grid import GridSpec
-from repro.core.inference import InferencePipeline, InferenceStats
+from repro.core.inference import InferencePipeline, InferenceResult, InferenceStats
+from repro.core.journal import RunJournal
 from repro.core.monitoring import QualityMonitor
+from repro.core.recovery import CrashPlan
 from repro.core.registry import ModelRegistry
 from repro.core.sweep import SweepPlanner
 from repro.core.training import PipelineStats, TrainerSettings, TrainingPipeline
 from repro.data.datasets import RetailerDataset
 from repro.exceptions import DataError, SigmundError
 from repro.mapreduce.runtime import FaultPlan
+from repro.serving.gate import PublishGate
 from repro.serving.server import RecommendationServer
 from repro.serving.store import RecommendationStore
 
@@ -57,7 +74,10 @@ class DailyRunReport:
     inference_makespan: float = 0.0
     preemptions: int = 0
     alerts: int = 0
-    #: Retailers whose training or inference failed today, with reasons.
+    #: Tables the publish gate refused (the retailer degrades to its
+    #: last-good table instead of serving a broken one).
+    publishes_rejected: int = 0
+    #: Retailers whose training, inference, or publish failed today.
     failed_retailers: List[str] = field(default_factory=list)
     failure_reasons: Dict[str, str] = field(default_factory=dict)
 
@@ -88,12 +108,19 @@ class SigmundService:
         full_restart_every: int = DEFAULT_FULL_RESTART_EVERY,
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        crash_plan: Optional[CrashPlan] = None,
+        publish_gate: Optional[PublishGate] = None,
+        checkpoint_storage: Optional[CheckpointStorage] = None,
+        checkpoint_fault_plan: Optional[CheckpointFaultPlan] = None,
     ):
         self.cluster = cluster
         self.registry = ModelRegistry()
         self.monitor = QualityMonitor()
         self.ledger = CostLedger(pricing)
         self.planner = SweepPlanner(grid, top_k=top_k_incremental, base_seed=seed)
+        self.journal = RunJournal()
+        self.crash_plan = crash_plan
+        self.gate = publish_gate or PublishGate()
         self.training = TrainingPipeline(
             cluster,
             self.registry,
@@ -103,6 +130,9 @@ class SigmundService:
             ledger=self.ledger,
             seed=seed,
             fault_plan=fault_plan,
+            checkpoint_storage=checkpoint_storage,
+            checkpoint_fault_plan=checkpoint_fault_plan,
+            crash_plan=crash_plan,
         )
         self.inference = InferencePipeline(
             cluster,
@@ -112,6 +142,7 @@ class SigmundService:
             ledger=self.ledger,
             seed=seed + 1,
             fault_plan=fault_plan,
+            crash_plan=crash_plan,
         )
         self.substitutes_store = RecommendationStore()
         self.accessories_store = RecommendationStore()
@@ -160,12 +191,19 @@ class SigmundService:
     # The daily loop
     # ------------------------------------------------------------------
     def run_day(self, force_full_sweep: bool = False) -> DailyRunReport:
-        """One full daily cycle: sweep -> train -> infer -> serve -> monitor."""
+        """One full daily cycle: sweep -> train -> infer -> serve -> monitor.
+
+        The day's intent (sweep kind plus the exact configs planned) is
+        journaled before any work; each unit of work is journaled after
+        its side effects land.  If the coordinator dies mid-run (a
+        :class:`SimulatedCrash` from the armed :class:`CrashPlan`), call
+        :meth:`recover` to resume the open day where it stopped.
+        """
         day = self._next_day
         self._next_day += 1
         datasets = list(self._datasets.values())
-        report = DailyRunReport(day=day)
         if not datasets:
+            report = DailyRunReport(day=day)
             self.reports.append(report)
             return report
 
@@ -176,35 +214,127 @@ class SigmundService:
         )
         if full:
             plan = self.planner.full_sweep(datasets, day=day)
-            report.sweep_kind = "full"
+            sweep_kind = "full"
         else:
             plan = self.planner.incremental_sweep(datasets, self.registry, day=day)
-            report.sweep_kind = "incremental"
+            sweep_kind = "incremental"
+        # WAL step 1: intent before work.  The exact configs are pinned
+        # so recovery never replans (an incremental sweep depends on
+        # registry state that the crashed run may already have mutated).
+        self.journal.begin_day(
+            day, {"sweep_kind": sweep_kind, "configs": list(plan.configs)}
+        )
+        return self._execute_day(day)
+
+    def recover(self) -> Optional[DailyRunReport]:
+        """Resume the begun-but-uncommitted day, if any.
+
+        Re-executes the open day through the same code path as
+        :meth:`run_day`, consulting the journal at every step: completed
+        retailers are not retrained, completed inference cells are not
+        re-run (their results are replayed from the journal), published
+        tables are not re-validated or re-loaded, and no billed cost is
+        billed again.  Returns ``None`` when there is nothing to recover.
+        """
+        day = self.journal.open_day()
+        if day is None:
+            return None
+        return self._execute_day(day)
+
+    def _check(self, stage: str, label: str = "") -> None:
+        if self.crash_plan is not None:
+            self.crash_plan.check(stage, label)
+
+    def _execute_day(self, day: int) -> DailyRunReport:
+        """Run (or resume) one journaled day; shared by run_day/recover."""
+        intent = self.journal.day_intent(day)
+        report = DailyRunReport(day=day, sweep_kind=str(intent["sweep_kind"]))
+        self._check("day_begin")
+
+        failure_reasons = self._train_phase(day, intent, report)
+        results, infer_stats = self._inference_phase(day, failure_reasons, report)
+        served = self._publish_phase(day, results, failure_reasons, report)
+        self._wrapup_phase(day, served, failure_reasons, report)
+
+        self.reports.append(report)
+        return report
+
+    # -- phase 1: per-retailer training --------------------------------
+    def _train_phase(
+        self, day: int, intent: Dict[str, object], report: DailyRunReport
+    ) -> Dict[str, str]:
+        configs: List[ConfigRecord] = list(intent["configs"])  # type: ignore[arg-type]
+        by_retailer: Dict[str, List[ConfigRecord]] = {}
+        for config in configs:
+            by_retailer.setdefault(config.retailer_id, []).append(config)
 
         failure_reasons: Dict[str, str] = {}
-        try:
-            outputs, train_stats = self.training.run(
-                plan.configs, self._datasets, day=day
+        for retailer_id in sorted(by_retailer):
+            if self.journal.is_done(day, "train", retailer_id):
+                # Completed before the crash: replay the report numbers
+                # from the journal; the registry publish and the ledger
+                # charge already happened and must not happen again.
+                payload = self.journal.task_payload(day, "train", retailer_id)
+            else:
+                self._check("train_task", retailer_id)
+                payload = self._train_retailer(
+                    day, retailer_id, by_retailer[retailer_id]
+                )
+                self.journal.log_task(day, "train", retailer_id, payload)
+                self._check("train_logged", retailer_id)
+            report.configs_trained += int(payload["trained"])  # type: ignore[call-overload]
+            report.configs_failed += int(payload["failed"])  # type: ignore[call-overload]
+            report.training_cost += float(payload["cost"])  # type: ignore[arg-type]
+            report.training_makespan = max(
+                report.training_makespan, float(payload["makespan"])  # type: ignore[arg-type]
             )
-        except SigmundError as exc:
-            # Catastrophic sweep failure (e.g. the cluster lost all free
-            # capacity): nobody trains today, everybody degrades to
-            # yesterday's models — but the day still completes.
-            train_stats = PipelineStats()
-            for retailer_id in sorted({c.retailer_id for c in plan.configs}):
-                failure_reasons[retailer_id] = f"training: {exc}"
-        else:
-            for failure in train_stats.failures:
-                if failure.retailer_id in train_stats.failed_retailers:
-                    failure_reasons.setdefault(
-                        failure.retailer_id, f"training: {failure.error}"
-                    )
-        report.configs_trained = train_stats.configs_trained
-        report.configs_failed = train_stats.configs_failed
-        report.training_cost = train_stats.total_cost
-        report.training_makespan = train_stats.makespan_seconds
-        report.preemptions += train_stats.preemptions
+            report.preemptions += int(payload["preemptions"])  # type: ignore[call-overload]
+            if payload.get("failure"):
+                failure_reasons[retailer_id] = str(payload["failure"])
+        return failure_reasons
 
+    def _train_retailer(
+        self, day: int, retailer_id: str, configs: List[ConfigRecord]
+    ) -> Dict[str, object]:
+        """Train one retailer's configs; the journaled unit of work."""
+        failure: Optional[str] = None
+        try:
+            _, train_stats = self.training.run(configs, self._datasets, day=day)
+        except SigmundError as exc:
+            # This retailer's sweep died outright (e.g. no free capacity
+            # for its job); it degrades to yesterday's models while the
+            # rest of the fleet trains on.
+            train_stats = PipelineStats()
+            train_stats.configs_failed = len(configs)
+            failure = f"training: {exc}"
+        else:
+            if retailer_id in train_stats.failed_retailers:
+                reason = next(
+                    (
+                        str(f.error)
+                        for f in train_stats.failures
+                        if f.retailer_id == retailer_id
+                    ),
+                    "failed",
+                )
+                failure = f"training: {reason}"
+        return {
+            "trained": train_stats.configs_trained,
+            "failed": train_stats.configs_failed,
+            "cost": train_stats.total_cost,
+            "makespan": train_stats.makespan_seconds,
+            "preemptions": train_stats.preemptions,
+            "failure": failure,
+        }
+
+    # -- phase 2: per-cell inference -----------------------------------
+    def _inference_phase(
+        self,
+        day: int,
+        failure_reasons: Dict[str, str],
+        report: DailyRunReport,
+    ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
+        stats = InferenceStats()
         # A retailer whose training failed outright is served from
         # yesterday's tables; running inference on its stale registry
         # entry would hide the failure behind quietly old models.
@@ -213,32 +343,200 @@ class SigmundService:
             for retailer_id, dataset in self._datasets.items()
             if retailer_id not in failure_reasons
         }
-        try:
-            results, infer_stats = self.inference.run(healthy, day=day)
-        except SigmundError as exc:
-            results, infer_stats = {}, InferenceStats()
-            for retailer_id in healthy:
-                if self.registry.has_models(retailer_id):
-                    failure_reasons[retailer_id] = f"inference: {exc}"
+        if self.journal.is_done(day, "infer_plan", "assignment"):
+            payload = self.journal.task_payload(day, "infer_plan", "assignment")
+            assignment: List[Tuple[str, List[str]]] = list(payload["assignment"])  # type: ignore[arg-type]
         else:
-            for retailer_id in infer_stats.failed_retailers:
-                failure_reasons.setdefault(
-                    retailer_id,
-                    "inference: "
-                    + infer_stats.failure_reasons.get(retailer_id, "failed"),
-                )
-        report.inference_cost = infer_stats.total_cost
-        report.inference_makespan = infer_stats.makespan_seconds
-        report.preemptions += infer_stats.preemptions
+            self._check("inference_plan")
+            # The cell assignment is journaled as *intent*: free capacity
+            # changes as jobs run, so a recovery that replanned would bin
+            # retailers differently and re-run work that already billed.
+            assignment = self.inference.plan(healthy)
+            self.journal.log_task(
+                day, "infer_plan", "assignment", {"assignment": assignment}
+            )
 
-        for retailer_id, result in results.items():
+        results: Dict[str, InferenceResult] = {}
+        failed: Dict[str, str] = {}
+        for cell_name, retailer_group in assignment:
+            if self.journal.is_done(day, "infer", cell_name):
+                payload = self.journal.task_payload(day, "infer", cell_name)
+                results.update(payload["results"])  # type: ignore[arg-type]
+                failed.update(payload["failed"])  # type: ignore[arg-type]
+                if payload["job_stats"] is not None:
+                    self.inference.fold_cell(
+                        stats,
+                        cell_name,
+                        payload["job_stats"],  # type: ignore[arg-type]
+                        int(payload["loads"]),  # type: ignore[arg-type]
+                    )
+                continue
+            self._check("infer_cell", cell_name)
+            group = {
+                rid: self._datasets[rid]
+                for rid in retailer_group
+                if rid in self._datasets
+            }
+            payload: Dict[str, object]
+            try:
+                cell_results, job_stats, loads, cell_failed = (
+                    self.inference.run_cell(cell_name, group, day)
+                )
+            except SigmundError as exc:
+                cell_failed = {
+                    rid: f"cell {cell_name!r}: {exc}" for rid in group
+                }
+                payload = {
+                    "results": {},
+                    "failed": cell_failed,
+                    "job_stats": None,
+                    "loads": 0,
+                }
+                failed.update(cell_failed)
+            else:
+                payload = {
+                    "results": cell_results,
+                    "failed": cell_failed,
+                    "job_stats": job_stats,
+                    "loads": loads,
+                }
+                results.update(cell_results)
+                failed.update(cell_failed)
+                self.inference.fold_cell(stats, cell_name, job_stats, loads)
+            self.journal.log_task(day, "infer", cell_name, payload)
+            self._check("infer_logged", cell_name)
+        self.inference.finalize_stats(stats, results, failed)
+
+        for retailer_id in stats.failed_retailers:
+            failure_reasons.setdefault(
+                retailer_id,
+                "inference: "
+                + stats.failure_reasons.get(retailer_id, "failed"),
+            )
+        report.inference_cost = stats.total_cost
+        report.inference_makespan = stats.makespan_seconds
+        report.preemptions += stats.preemptions
+        return results, stats
+
+    # -- phase 3: gated publish ----------------------------------------
+    def _publish_phase(
+        self,
+        day: int,
+        results: Dict[str, InferenceResult],
+        failure_reasons: Dict[str, str],
+        report: DailyRunReport,
+    ) -> List[str]:
+        """Validate and atomically load each retailer's tables; returns
+        the retailers actually served fresh today."""
+        version = day + 1
+        served: List[str] = []
+        for retailer_id in sorted(results):
+            if self.journal.is_done(day, "publish", retailer_id):
+                payload = self.journal.task_payload(day, "publish", retailer_id)
+                if payload["accepted"]:
+                    served.append(retailer_id)
+                else:
+                    report.publishes_rejected += 1
+                    failure_reasons[retailer_id] = str(payload["reason"])
+                continue
+            self._check("publish", retailer_id)
+            result = results[retailer_id]
+            accepted, reason = self._publish_retailer(
+                day, retailer_id, result, version
+            )
+            self.journal.log_task(
+                day,
+                "publish",
+                retailer_id,
+                {"accepted": accepted, "reason": reason},
+            )
+            self._check("publish_logged", retailer_id)
+            if accepted:
+                served.append(retailer_id)
+            else:
+                report.publishes_rejected += 1
+                failure_reasons[retailer_id] = reason
+        report.retailers_served = len(served)
+        return served
+
+    def _publish_retailer(
+        self,
+        day: int,
+        retailer_id: str,
+        result: InferenceResult,
+        version: int,
+    ) -> Tuple[bool, str]:
+        """Gate both surfaces, then load them; returns (accepted, reason).
+
+        A crash between the two loads leaves the substitutes store ahead
+        of the accessories store; recovery detects that (the substitutes
+        table is already at today's version, which can only mean both
+        surfaces passed validation before the first load) and completes
+        the pair without re-validating — re-validation would wrongly
+        reject today's version as "not newer" than itself.
+        """
+        view_done = (self.substitutes_store.version_of(retailer_id) or -1) >= version
+        if not view_done:
+            n_items = (
+                self._datasets[retailer_id].n_items
+                if retailer_id in self._datasets
+                else 0
+            )
+            current_map = (
+                self.registry.best(retailer_id).map_at_10
+                if self.registry.has_models(retailer_id)
+                else None
+            )
+            previous_map = self.monitor.last_map(retailer_id, day)
+            view_decision = self.gate.validate(
+                retailer_id,
+                result.view_recs,
+                version,
+                self.substitutes_store,
+                n_items,
+                current_map=current_map,
+                previous_map=previous_map,
+            )
+            # An empty complements table is a legitimate state for a
+            # retailer with no conversion co-occurrence yet; the gate
+            # still vets scores and version.
+            purchase_decision = self.gate.validate(
+                retailer_id,
+                result.purchase_recs,
+                version,
+                self.accessories_store,
+                n_items,
+                current_map=current_map,
+                previous_map=previous_map,
+                allow_empty=True,
+            )
+            if not (view_decision.accepted and purchase_decision.accepted):
+                # Neither surface loads: the retailer keeps serving its
+                # complete last-good tables on both, never a mixed pair.
+                reasons = view_decision.reasons + purchase_decision.reasons
+                return False, "publish: " + "; ".join(reasons)
             self.substitutes_store.load_batch(
-                retailer_id, result.view_recs, version=day + 1
+                retailer_id, result.view_recs, version=version
             )
+        self._check("publish_mid", retailer_id)
+        if (self.accessories_store.version_of(retailer_id) or -1) < version:
             self.accessories_store.load_batch(
-                retailer_id, result.purchase_recs, version=day + 1
+                retailer_id, result.purchase_recs, version=version
             )
-        report.retailers_served = len(results)
+        return True, ""
+
+    # -- phase 4: wrap-up (monitoring, detectors, commit) --------------
+    def _wrapup_phase(
+        self,
+        day: int,
+        served: List[str],
+        failure_reasons: Dict[str, str],
+        report: DailyRunReport,
+    ) -> None:
+        # The kill point sits *before* any monitor mutation: recording is
+        # not idempotent, so a wrap-up crash must happen before all of it
+        # and recovery then performs the whole pass exactly once.
+        self._check("wrapup")
         report.failed_retailers = sorted(failure_reasons)
         report.failure_reasons = dict(failure_reasons)
         for retailer_id in report.failed_retailers:
@@ -277,8 +575,7 @@ class SigmundService:
                 if alert is not None:
                     report.alerts += 1
 
-        self.reports.append(report)
-        return report
+        self.journal.commit_day(day)
 
     # ------------------------------------------------------------------
     # Introspection

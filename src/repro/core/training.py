@@ -27,8 +27,13 @@ from repro.cluster.cell import Cluster
 from repro.cluster.cost import CostLedger, ResourcePricing
 from repro.cluster.machine import Priority, VMRequest
 from repro.cluster.preemption import PreemptionModel
-from repro.core.checkpoint import CheckpointManager
+from repro.core.checkpoint import (
+    CheckpointFaultPlan,
+    CheckpointManager,
+    CheckpointStorage,
+)
 from repro.core.config import ConfigRecord, OutputConfigRecord
+from repro.core.recovery import CrashPlan
 from repro.core.registry import ModelRegistry, TrainedModel
 from repro.data.datasets import RetailerDataset
 from repro.evaluation.evaluator import HoldoutEvaluator
@@ -110,6 +115,16 @@ def estimate_model_memory_gb(config: ConfigRecord, dataset: RetailerDataset) -> 
     return overhead_gb + total / (1024.0 ** 3)
 
 
+def checkpoint_key(config: ConfigRecord) -> str:
+    """Checkpoint namespace for one Train() invocation.
+
+    Includes the day: config keys are re-issued daily, and a leftover
+    checkpoint from an earlier day (e.g. a config that dead-lettered
+    mid-training) must never be mistaken for this run's resume point.
+    """
+    return f"day{config.day}/{config.key}"
+
+
 def _make_sampler(
     settings: TrainerSettings, model: BPRModel, dataset: RetailerDataset
 ) -> NegativeSampler:
@@ -127,6 +142,7 @@ def train_config(
     warm_model: Optional[BPRModel] = None,
     checkpoints: Optional[CheckpointManager] = None,
     start_time: float = 0.0,
+    crash_plan: Optional["CrashPlan"] = None,
 ) -> Tuple[BPRModel, OutputConfigRecord]:
     """The paper's Train(): config record in, model + output record out.
 
@@ -134,6 +150,14 @@ def train_config(
     Adagrad norms, and run fewer epochs — "incremental runs require much
     fewer iterations to converge" (section III-C3).  Checkpoints are
     written on the configured simulated-time interval as epochs complete.
+
+    **Crash recovery**: if a valid checkpoint already exists under this
+    config's key, a previous attempt was killed mid-training — the model
+    restores from it and trains only the remaining epochs, so lost work
+    is bounded by the checkpoint interval.  Checkpoints carry parameters
+    only (paper IV-B3 checkpoints "the model learned"), so Adagrad norms
+    are explicitly reset on restore, the same semantics as a warm start.
+    A corrupt or missing checkpoint degrades to a clean cold start.
 
     ``config.model_kind == "wals"`` dispatches to the least-squares
     learner instead (paper section VI's drop-in substitute); WALS trains
@@ -153,11 +177,18 @@ def train_config(
         if config.warm_start and warm_model is not None
         else settings.max_epochs_full
     )
+    ckpt_key = checkpoint_key(config)
+    start_epoch = 0
+    if checkpoints is not None:
+        resumed = checkpoints.try_restore(ckpt_key, model)
+        if resumed is not None:
+            model.optimizer.reset_norms()  # norms are not checkpointed
+            start_epoch = resumed + 1
     trainer = BPRTrainer(
         model,
         dataset,
         sampler=_make_sampler(settings, model, dataset),
-        max_epochs=max_epochs,
+        max_epochs=max(0, max_epochs - start_epoch),
         convergence_tol=settings.convergence_tol,
         patience=settings.patience,
         batch_size=settings.batch_size,
@@ -171,15 +202,20 @@ def train_config(
         / settings.thread_speedup()
     )
     for epoch, loss in trainer.iter_epochs():
+        absolute_epoch = start_epoch + epoch
         report.epochs_run = epoch + 1
         report.sgd_steps += trainer.n_examples
         report.epoch_losses.append(loss)
         simulated_now += epoch_seconds
         if checkpoints is not None:
-            checkpoints.maybe_checkpoint(config.key, model, simulated_now, epoch)
+            checkpoints.maybe_checkpoint(
+                ckpt_key, model, simulated_now, absolute_epoch
+            )
+        if crash_plan is not None:
+            crash_plan.check("train_epoch", f"{config.key}@e{absolute_epoch}")
     report.converged = trainer.converged
     if checkpoints is not None:
-        checkpoints.discard(config.key)
+        checkpoints.discard(ckpt_key)
 
     evaluator = HoldoutEvaluator(dataset, seed=derive_seed(config.params.seed, "eval"))
     result = evaluator.evaluate(model)
@@ -375,6 +411,9 @@ class TrainingPipeline:
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         failure_policy: str = SKIP_RECORD,
+        checkpoint_storage: Optional["CheckpointStorage"] = None,
+        checkpoint_fault_plan: Optional["CheckpointFaultPlan"] = None,
+        crash_plan: Optional["CrashPlan"] = None,
     ):
         self.cluster = cluster
         self.registry = registry
@@ -388,7 +427,12 @@ class TrainingPipeline:
             seed=seed,
             fault_plan=fault_plan,
         )
-        self.checkpoints = CheckpointManager(settings.checkpoint_interval_seconds)
+        self.checkpoints = CheckpointManager(
+            settings.checkpoint_interval_seconds,
+            storage=checkpoint_storage,
+            fault_plan=checkpoint_fault_plan,
+        )
+        self.crash_plan = crash_plan
         self._seed = seed
 
     def run(
@@ -474,6 +518,7 @@ class TrainingPipeline:
                 settings=settings,
                 warm_model=warm_model,
                 checkpoints=self.checkpoints,
+                crash_plan=self.crash_plan,
             )
             # Publication happens after the job, from surviving outputs
             # only — a config on a task that later fails permanently must

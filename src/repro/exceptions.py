@@ -41,6 +41,16 @@ class CheckpointError(SigmundError):
     """A checkpoint could not be written, read, or garbage-collected."""
 
 
+class CheckpointCorruptionError(CheckpointError):
+    """A stored checkpoint failed its integrity check on restore.
+
+    Torn writes, bit rot, or a truncated blob on the shared filesystem:
+    the checksum (or deserialization) did not match the payload.  Callers
+    on the recovery path treat this as "no checkpoint" and cold-start —
+    a corrupt checkpoint must never be half-loaded into a model.
+    """
+
+
 class ClusterError(SigmundError):
     """The cluster simulator was asked to do something impossible."""
 
@@ -73,3 +83,29 @@ class FaultInjectedError(SigmundError):
 
 class ServingError(SigmundError):
     """The serving store could not satisfy a request."""
+
+
+class PublishRejectedError(ServingError):
+    """A recommendation table failed publish-gate validation.
+
+    The store keeps serving the last-good version; the rejection is
+    surfaced through the quality monitor instead of silently serving a
+    broken table."""
+
+
+class SimulatedCrash(BaseException):
+    """A coordinator kill injected by a :class:`~repro.core.recovery.CrashPlan`.
+
+    Deliberately derives from :class:`BaseException`, not
+    :class:`SigmundError`: a machine kill is not a task fault, so none of
+    the fault-isolation layers (``skip_record`` dead-lettering, per-cell
+    degradation, the service's per-retailer try/except) may catch and
+    absorb it.  It must unwind the whole daily run — exactly like
+    ``KeyboardInterrupt`` — leaving the run journal open so
+    ``SigmundService.recover()`` can resume the day.
+    """
+
+    def __init__(self, stage: str, label: str = ""):
+        super().__init__(f"simulated crash at {stage}:{label}")
+        self.stage = stage
+        self.label = label

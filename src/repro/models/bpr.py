@@ -573,8 +573,15 @@ class BPRModel(Recommender):
         return {name: param.copy() for name, param in self._parameters().items()}
 
     def set_state(self, state: Dict[str, np.ndarray]) -> None:
-        """Restore parameters from :meth:`get_state` output."""
-        for name, param in self._parameters().items():
+        """Restore parameters from :meth:`get_state` output.
+
+        Validates every entry before assigning any, so a bad state dict
+        (missing parameter, shape mismatch) leaves the model untouched
+        instead of half-loaded — the property the checkpoint-restore
+        path relies on to fall back to cold start cleanly.
+        """
+        parameters = self._parameters()
+        for name, param in parameters.items():
             if name not in state:
                 raise ConfigError(f"checkpoint missing parameter {name!r}")
             if state[name].shape != param.shape:
@@ -582,6 +589,7 @@ class BPRModel(Recommender):
                     f"checkpoint parameter {name!r} has shape {state[name].shape}, "
                     f"model expects {param.shape}"
                 )
+        for name, param in parameters.items():
             param[...] = state[name]
         self.invalidate_cache()
 

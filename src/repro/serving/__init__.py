@@ -10,12 +10,15 @@ only does lookups and merges.
 """
 
 from repro.serving.cluster import LookupResult, ServingCluster, ServingNode
+from repro.serving.gate import GateDecision, PublishGate
 from repro.serving.server import RecommendationServer, ServedRecommendation
 from repro.serving.store import RecommendationStore, StoreStats
 
 __all__ = [
     "RecommendationStore",
     "StoreStats",
+    "PublishGate",
+    "GateDecision",
     "RecommendationServer",
     "ServedRecommendation",
     "ServingCluster",

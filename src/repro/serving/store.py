@@ -22,6 +22,14 @@ class StoreStats:
     batches_loaded: int = 0
     lookups: int = 0
     misses: int = 0
+    #: Batches rejected for version monotonicity — a stale late-arriving
+    #: publish (e.g. a delayed pipeline replaying yesterday) that must
+    #: not clobber a fresher table.  Silent rejection would hide a
+    #: misbehaving publisher, so the rejection is counted here as well
+    #: as raised.
+    stale_batches_rejected: int = 0
+    #: Tables rolled back to their last-good predecessor.
+    rollbacks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -43,6 +51,10 @@ class RecommendationStore:
 
     def __init__(self) -> None:
         self._tables: Dict[str, _RetailerTable] = {}
+        #: Last-good predecessor of each current table, kept so a table
+        #: that passed the publish gate but turns out bad in production
+        #: can be rolled back without a republish.
+        self._previous: Dict[str, _RetailerTable] = {}
         self.stats = StoreStats()
 
     # ------------------------------------------------------------------
@@ -62,6 +74,7 @@ class RecommendationStore:
         """
         current = self._tables.get(retailer_id)
         if current is not None and version <= current.version:
+            self.stats.stale_batches_rejected += 1
             raise ServingError(
                 f"stale batch for {retailer_id!r}: version {version} <= "
                 f"current {current.version}"
@@ -72,8 +85,29 @@ class RecommendationStore:
                 int(item): list(recs) for item, recs in recommendations.items()
             },
         )
+        if current is not None:
+            self._previous[retailer_id] = current
         self._tables[retailer_id] = table
         self.stats.batches_loaded += 1
+
+    def rollback(self, retailer_id: str) -> int:
+        """Re-serve the last-good table (the one the current load replaced).
+
+        The escape hatch behind the publish gate: if a table that passed
+        validation regresses in production, the previous complete table
+        comes back atomically.  Returns the version now being served.
+        Raises :class:`ServingError` when there is nothing to roll back
+        to — a retailer on its first table keeps it (serving something
+        beats serving nothing).
+        """
+        previous = self._previous.pop(retailer_id, None)
+        if previous is None:
+            raise ServingError(
+                f"no last-good table to roll back to for {retailer_id!r}"
+            )
+        self._tables[retailer_id] = previous
+        self.stats.rollbacks += 1
+        return previous.version
 
     def drop_retailer(self, retailer_id: str) -> None:
         """Delete a retailer's table outright (offboarding purge).
@@ -84,6 +118,7 @@ class RecommendationStore:
         no-op so offboarding stays idempotent.
         """
         self._tables.pop(retailer_id, None)
+        self._previous.pop(retailer_id, None)
 
     # ------------------------------------------------------------------
     # Read path

@@ -1,11 +1,17 @@
-"""Tests for time-interval checkpointing and keep-latest GC."""
+"""Tests for durable time-interval checkpointing and keep-latest GC."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core.checkpoint import CheckpointManager
-from repro.exceptions import CheckpointError
+from repro.core.checkpoint import (
+    CheckpointFaultPlan,
+    CheckpointManager,
+    FilesystemCheckpointStorage,
+    InMemoryCheckpointStorage,
+)
+from repro.exceptions import CheckpointCorruptionError, CheckpointError
 
 
 class TestCheckpointManager:
@@ -68,3 +74,167 @@ class TestCheckpointManager:
     def test_invalid_interval(self):
         with pytest.raises(CheckpointError):
             CheckpointManager(interval_seconds=0.0)
+
+    def test_first_maybe_checkpoint_always_writes(self, fresh_model):
+        """The interval clock starts ticking only once a checkpoint exists:
+        the first call protects the task immediately."""
+        manager = CheckpointManager(interval_seconds=1e9)
+        assert manager.maybe_checkpoint("k", fresh_model, now=5.0, epoch=0)
+        assert manager.writes == 1
+        assert not manager.maybe_checkpoint("k", fresh_model, now=6.0, epoch=1)
+
+    def test_discard_resets_interval_clock(self, fresh_model):
+        """A re-issued key checkpoints promptly instead of inheriting the
+        previous task's 'recently written' timestamp."""
+        manager = CheckpointManager(interval_seconds=100.0)
+        manager.write("k", fresh_model, now=50.0, epoch=3)
+        manager.discard("k")
+        # Well inside the old interval, yet the write happens immediately.
+        assert manager.maybe_checkpoint("k", fresh_model, now=60.0, epoch=0)
+
+    def test_try_restore_resets_interval_clock(self, fresh_model):
+        """A resumed task re-checkpoints promptly: the pre-crash timestamp
+        may be far in the resumed run's simulated future."""
+        manager = CheckpointManager(interval_seconds=100.0)
+        manager.write("k", fresh_model, now=500.0, epoch=2)
+        assert manager.try_restore("k", fresh_model) == 2
+        assert manager.maybe_checkpoint("k", fresh_model, now=0.0, epoch=3)
+
+
+class TestRestoreAliasing:
+    def test_training_past_restore_does_not_mutate_checkpoint(self, fresh_model):
+        """The stored artifact is a byte string: a restored model can never
+        alias it, so training past a restore re-restores byte-identically."""
+        manager = CheckpointManager()
+        fresh_model.item_bias[:] = 1.5
+        snapshot = {k: v.copy() for k, v in fresh_model.get_state().items()}
+        manager.write("k", fresh_model, now=0.0, epoch=4)
+
+        # "Continue training" after a restore: in-place mutation of every
+        # parameter the restore handed back.
+        manager.restore("k", fresh_model)
+        for array in fresh_model.get_state().values():
+            array += 123.0
+
+        assert manager.restore("k", fresh_model) == 4
+        for name, array in fresh_model.get_state().items():
+            np.testing.assert_array_equal(array, snapshot[name])
+
+    def test_stored_blob_is_stable_across_restores(self, fresh_model):
+        manager = CheckpointManager()
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        before = manager.storage.get("k")
+        manager.restore("k", fresh_model)
+        fresh_model.item_bias += 9.0
+        manager.restore("k", fresh_model)
+        assert manager.storage.get("k") == before
+
+
+class TestStorageBackends:
+    def test_in_memory_is_default(self):
+        assert isinstance(CheckpointManager().storage, InMemoryCheckpointStorage)
+
+    def test_filesystem_roundtrip(self, tmp_path, fresh_model):
+        storage = FilesystemCheckpointStorage(str(tmp_path / "ckpts"))
+        manager = CheckpointManager(storage=storage)
+        fresh_model.item_bias[0] = 42.0
+        manager.write("day0/retailer_1/m3", fresh_model, now=0.0, epoch=7)
+        fresh_model.item_bias[0] = 0.0
+        assert manager.restore("day0/retailer_1/m3", fresh_model) == 7
+        assert fresh_model.item_bias[0] == 42.0
+        # Slashed keys survive the path encoding round trip.
+        assert storage.keys() == ["day0/retailer_1/m3"]
+
+    def test_filesystem_delete_and_gc(self, tmp_path, fresh_model):
+        storage = FilesystemCheckpointStorage(str(tmp_path))
+        manager = CheckpointManager(storage=storage)
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        manager.write("k", fresh_model, now=10.0, epoch=1)
+        assert manager.garbage_collected == 1
+        assert manager.stored_count == 1
+        manager.discard("k")
+        assert storage.keys() == []
+
+    def test_filesystem_atomicity_leaves_no_temp_files(self, tmp_path, fresh_model):
+        root = tmp_path / "ckpts"
+        storage = FilesystemCheckpointStorage(str(root))
+        manager = CheckpointManager(storage=storage)
+        for epoch in range(3):
+            manager.write("k", fresh_model, now=float(epoch), epoch=epoch)
+        leftovers = [p for p in root.iterdir() if p.suffix != ".ckpt"]
+        assert leftovers == []
+
+
+class TestFaultInjection:
+    def test_torn_write_detected_on_restore(self, fresh_model):
+        plan = CheckpointFaultPlan().torn_write()
+        manager = CheckpointManager(fault_plan=plan)
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        with pytest.raises(CheckpointCorruptionError):
+            manager.restore("k", fresh_model)
+        assert manager.stats.corruptions_detected == 1
+        assert manager.stats.corrupt_keys == ["k"]
+        # The useless blob was deleted so the next writer starts clean.
+        assert not manager.has_checkpoint("k")
+
+    def test_bit_flip_detected_on_restore(self, fresh_model):
+        plan = CheckpointFaultPlan().bit_flip(times=1)
+        manager = CheckpointManager(fault_plan=plan)
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        with pytest.raises(CheckpointCorruptionError, match="checksum"):
+            manager.restore("k", fresh_model)
+
+    def test_drop_means_no_checkpoint(self, fresh_model):
+        plan = CheckpointFaultPlan().drop()
+        manager = CheckpointManager(fault_plan=plan)
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        assert not manager.has_checkpoint("k")
+        with pytest.raises(CheckpointError):
+            manager.restore("k", fresh_model)
+
+    def test_corrupt_restore_leaves_model_untouched(self, fresh_model):
+        plan = CheckpointFaultPlan().bit_flip()
+        manager = CheckpointManager(fault_plan=plan)
+        fresh_model.item_bias[0] = 3.0
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        fresh_model.item_bias[0] = -8.0
+        with pytest.raises(CheckpointCorruptionError):
+            manager.restore("k", fresh_model)
+        assert fresh_model.item_bias[0] == -8.0
+
+    def test_try_restore_cold_starts_on_corruption(self, fresh_model):
+        plan = CheckpointFaultPlan().torn_write()
+        manager = CheckpointManager(fault_plan=plan)
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        assert manager.try_restore("k", fresh_model) is None
+        assert manager.stats.cold_starts == 1
+        assert manager.stats.corruptions_detected == 1
+
+    def test_try_restore_cold_starts_on_missing(self, fresh_model):
+        manager = CheckpointManager()
+        assert manager.try_restore("absent", fresh_model) is None
+        assert manager.stats.cold_starts == 1
+
+    def test_fault_rules_match_and_disarm(self, fresh_model):
+        plan = CheckpointFaultPlan().bit_flip(
+            match=lambda key: key.startswith("bad/"), times=1
+        )
+        manager = CheckpointManager(fault_plan=plan)
+        manager.write("good/k", fresh_model, now=0.0, epoch=0)
+        manager.write("bad/k", fresh_model, now=0.0, epoch=0)
+        manager.write("bad/k2", fresh_model, now=0.0, epoch=0)
+        assert manager.restore("good/k", fresh_model) == 0
+        with pytest.raises(CheckpointCorruptionError):
+            manager.restore("bad/k", fresh_model)
+        # times=1: the second matching write was stored intact.
+        assert manager.restore("bad/k2", fresh_model) == 0
+
+    def test_faults_on_filesystem_backend(self, tmp_path, fresh_model):
+        """Corruption detection is backend-independent."""
+        storage = FilesystemCheckpointStorage(str(tmp_path))
+        manager = CheckpointManager(
+            storage=storage, fault_plan=CheckpointFaultPlan().torn_write()
+        )
+        manager.write("k", fresh_model, now=0.0, epoch=0)
+        assert manager.try_restore("k", fresh_model) is None
+        assert manager.stats.cold_starts == 1

@@ -242,7 +242,7 @@ class TestInferenceCellPairing:
             assignments[cell_name] = frozenset(group)
             return {}, JobStats(job_name=cell_name), 0, {}
 
-        monkeypatch.setattr(pipeline, "_run_cell_job", fake_cell_job)
+        monkeypatch.setattr(pipeline, "run_cell", fake_cell_job)
         pipeline.run(datasets)
         # FFD bins are {w}=5, {x}=4, {y,z}=6: the heaviest bin must pair
         # with the most-free cell, not with whatever order FFD emitted.
