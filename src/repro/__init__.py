@@ -57,6 +57,15 @@ from repro.models import (
     WALSHyperParams,
     WALSModel,
 )
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+    NullTracer,
+    Tracer,
+    build_fleet_snapshot,
+    fleet_snapshot_json,
+)
 from repro.serving import RecommendationServer, RecommendationStore
 
 __version__ = "1.0.0"
@@ -101,6 +110,13 @@ __all__ = [
     "SimClock",
     "DeadLetter",
     "FaultPlan",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "MetricsSnapshot",
+    "Tracer",
+    "NullTracer",
+    "build_fleet_snapshot",
+    "fleet_snapshot_json",
 ]
 
 

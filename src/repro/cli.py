@@ -8,6 +8,8 @@ Commands:
 * ``train``   — train a model on CSV data (catalog + events files) and
   print holdout metrics.
 * ``inspect`` — summarize a CSV dataset (sizes, coverage, event mix).
+* ``metrics`` — run a synthetic fleet with observability enabled and
+  print the fleet snapshot as JSON.
 """
 
 from __future__ import annotations
@@ -67,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("catalog", help="catalog CSV path")
     inspect.add_argument("events", help="interactions CSV path")
     inspect.add_argument("--retailer-id", default="csv_retailer")
+
+    metrics = commands.add_parser(
+        "metrics", help="run a synthetic fleet and print the fleet snapshot"
+    )
+    metrics.add_argument("--retailers", type=int, default=3)
+    metrics.add_argument("--days", type=int, default=1)
+    metrics.add_argument("--median-items", type=int, default=80)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--indent", type=int, default=2)
     return parser
 
 
@@ -159,11 +170,40 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, Tracer, fleet_snapshot_json
+
+    service = SigmundService(
+        build_cluster(n_cells=2, machines_per_cell=6),
+        grid=GridSpec.small(),
+        settings=TrainerSettings(
+            max_epochs_full=3, max_epochs_incremental=2, sampler="uniform"
+        ),
+        seed=args.seed,
+        metrics=MetricsRegistry(),
+        tracer=Tracer(),
+    )
+    fleet = generate_marketplace(
+        MarketplaceSpec(
+            n_retailers=args.retailers,
+            median_items=args.median_items,
+            seed=args.seed,
+        )
+    )
+    for retailer in fleet:
+        service.onboard(dataset_from_synthetic(retailer))
+    for _ in range(args.days):
+        service.run_day()
+    print(fleet_snapshot_json(service, indent=args.indent))
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "service": cmd_service,
     "train": cmd_train,
     "inspect": cmd_inspect,
+    "metrics": cmd_metrics,
 }
 
 

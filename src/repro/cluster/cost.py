@@ -14,6 +14,7 @@ from typing import Dict
 
 from repro.cluster.machine import Priority, VMRequest
 from repro.exceptions import ClusterError
+from repro.obs.metrics import NULL_METRICS
 
 #: Reference price of one regular CPU-hour (arbitrary currency units).
 DEFAULT_CPU_HOUR_RATE = 0.05
@@ -57,10 +58,22 @@ class ResourcePricing:
 class CostLedger:
     """Accumulates charges per named account (job, pipeline stage, ...)."""
 
-    def __init__(self, pricing: ResourcePricing = ResourcePricing()):
+    def __init__(
+        self,
+        pricing: ResourcePricing = ResourcePricing(),
+        metrics=NULL_METRICS,
+    ):
         self.pricing = pricing
+        #: Process-level registry: ledger totals accumulate across days,
+        #: so these counters are not part of the crash-parity contract.
+        self.metrics = metrics
         self._accounts: Dict[str, float] = defaultdict(float)
         self._cpu_seconds: Dict[str, float] = defaultdict(float)
+
+    @staticmethod
+    def _account_group(account: str) -> str:
+        """The label for ledger counters: everything before the first '/'."""
+        return account.split("/", 1)[0]
 
     def charge(
         self, account: str, request: VMRequest, duration_seconds: float
@@ -69,6 +82,9 @@ class CostLedger:
         amount = self.pricing.cost(request, duration_seconds)
         self._accounts[account] += amount
         self._cpu_seconds[account] += request.cpus * duration_seconds
+        self.metrics.counter(
+            "ledger_cost_total", account=self._account_group(account)
+        ).inc(amount)
         return amount
 
     def attribute(self, account: str, amount: float, cpu_seconds: float = 0.0) -> None:
@@ -84,6 +100,9 @@ class CostLedger:
             raise ClusterError("attributed amount must be non-negative")
         self._accounts[account] += amount
         self._cpu_seconds[account] += cpu_seconds
+        self.metrics.counter(
+            "ledger_attributed_total", account=self._account_group(account)
+        ).inc(amount)
 
     def accounts_with_prefix(self, prefix: str) -> Dict[str, float]:
         """All accounts whose name starts with ``prefix``."""

@@ -16,6 +16,8 @@ from typing import Optional
 from repro.cluster.machine import Priority, VMRequest
 from repro.cluster.preemption import PreemptionModel
 from repro.exceptions import ClusterError
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.rng import SeedLike, make_rng
 
 #: Safety valve: simulation aborts after this many attempts.
@@ -51,6 +53,8 @@ def run_with_preemptions(
     checkpoint_write_seconds: float = 2.0,
     restart_overhead_seconds: float = 30.0,
     seed: SeedLike = None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> ExecutionTrace:
     """Simulate one job run to completion under pre-emptions.
 
@@ -129,6 +133,29 @@ def run_with_preemptions(
             completed = work_seconds
         else:
             completed = attempt_durable
+
+    label = priority.value
+    metrics.counter("execution_attempts_total", priority=label).inc(
+        trace.attempts
+    )
+    metrics.counter("execution_preemptions_total", priority=label).inc(
+        trace.preemptions
+    )
+    metrics.counter(
+        "execution_checkpoints_written_total", priority=label
+    ).inc(trace.checkpoints_written)
+    metrics.counter(
+        "execution_lost_work_seconds_total", priority=label
+    ).inc(trace.lost_work_seconds)
+    tracer.record_span(
+        "execution",
+        0.0,
+        trace.wall_seconds,
+        priority=label,
+        attempts=trace.attempts,
+        preemptions=trace.preemptions,
+        billed=trace.billed_seconds,
+    )
     return trace
 
 

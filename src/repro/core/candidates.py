@@ -30,6 +30,7 @@ from repro.data.events import EventType, Interaction
 from repro.data.sessions import UserContext
 from repro.data.taxonomy import Taxonomy
 from repro.exceptions import DataError
+from repro.obs.metrics import NULL_METRICS
 
 #: Paper: "empirically we found that setting k = 2 provides a good
 #: trade-off between quality and coverage" for view-based selection.
@@ -164,6 +165,9 @@ class CandidateSelector:
     purchase_lca_k: int = DEFAULT_PURCHASE_LCA_K
     max_candidates: int = DEFAULT_MAX_CANDIDATES
     co_neighbours: int = DEFAULT_CO_NEIGHBOURS
+    #: Where batch-selection counters land; the inference pipeline re-binds
+    #: this to the current run's registry (selectors are cached across days).
+    metrics: object = field(default=NULL_METRICS, repr=False, compare=False)
     #: Memo of subtree item sets used by the batch methods, keyed by the
     #: subtree's root category, as sorted int64 arrays.  ``lca_k(item, k)``
     #: for ``k >= 1`` is exactly the subtree of the ancestor ``k - 1``
@@ -356,6 +360,10 @@ class CandidateSelector:
         over a whole inference block.
         """
         k = self.view_lca_k if lca_k is None else lca_k
+        self.metrics.counter("candidate_batches_total", kind="view").inc()
+        self.metrics.counter(
+            "candidate_items_total", kind="view"
+        ).inc(len(items))
         if same_facets or k < 1:
             # Facet filtering / item-local expansions: reference path.
             return [
@@ -421,6 +429,10 @@ class CandidateSelector:
         """:meth:`purchase_based` for a block of items, one sorted int64
         array per item (values identical to the singular method's list)."""
         k = self.purchase_lca_k if lca_k is None else lca_k
+        self.metrics.counter("candidate_batches_total", kind="purchase").inc()
+        self.metrics.counter(
+            "candidate_items_total", kind="purchase"
+        ).inc(len(items))
         if k < 1:
             return [
                 np.asarray(self.purchase_based(item, lca_k=k), dtype=np.int64)

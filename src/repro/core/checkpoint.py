@@ -256,6 +256,9 @@ class CheckpointStats:
     """Operational counters for dashboards and tests."""
 
     writes: int = 0
+    #: Total encoded blob bytes handed to storage (the "checkpoint bytes"
+    #: line on the fleet snapshot's process section).
+    bytes_written: int = 0
     garbage_collected: int = 0
     restores: int = 0
     #: Restores that found a blob failing its integrity check.
@@ -348,6 +351,7 @@ class CheckpointManager:
             self.stats.garbage_collected += 1
         self._last_written[key] = now
         self.stats.writes += 1
+        self.stats.bytes_written += len(blob)
 
     # ------------------------------------------------------------------
     # Restoring

@@ -27,6 +27,7 @@ from repro.core.config import ConfigRecord
 from repro.data.datasets import RetailerDataset
 from repro.exceptions import ConfigError
 from repro.models.bpr import BPRHyperParams
+from repro.obs.metrics import NULL_METRICS
 from repro.rng import derive_seed, make_rng
 
 #: Features whose attribute coverage falls below this are never used.
@@ -110,6 +111,7 @@ def generate_configs(
     grid: GridSpec = GridSpec(),
     day: int = 0,
     base_seed: int = 0,
+    metrics=NULL_METRICS,
 ) -> List[ConfigRecord]:
     """The full cross product for one retailer, deduplicated and capped.
 
@@ -182,4 +184,7 @@ def generate_configs(
                 model_kind=model_kind,
             )
         )
+    metrics.counter(
+        "grid_configs_generated_total", retailer=dataset.retailer_id
+    ).inc(len(records))
     return records

@@ -48,6 +48,8 @@ from repro.mapreduce.runtime import (
 )
 from repro.mapreduce.splits import InputSplit
 from repro.models.base import Recommender, ScoredItem
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_TRACER
 
 #: Top-N recommendations materialized per item per surface.
 DEFAULT_TOP_N = 10
@@ -141,6 +143,11 @@ class InferencePipeline:
             raise SigmundError("inference block_size must be >= 1")
         self.block_size = block_size
         self.crash_plan = crash_plan
+        #: Process-level registry (selector-cache hits/misses).  Distinct
+        #: from the per-run ``metrics`` argument of :meth:`run_cell`:
+        #: cache behaviour depends on what already ran in this process,
+        #: so these counters are *not* part of the crash-parity contract.
+        self.process_metrics = NULL_METRICS
         #: Candidate selectors reused across days: ``CoOccurrenceCounts``
         #: and ``RepurchaseDetector`` are deterministic functions of the
         #: training log, so as long as a retailer's dataset object is
@@ -199,6 +206,8 @@ class InferencePipeline:
         datasets: Dict[str, RetailerDataset],
         day: int = 0,
         assignment: Optional[List[Tuple[str, List[str]]]] = None,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
         """Run inference for every retailer with a trained model.
 
@@ -216,7 +225,7 @@ class InferencePipeline:
             group = {rid: datasets[rid] for rid in retailer_group}
             try:
                 cell_results, job_stats, loads, cell_failed = self.run_cell(
-                    cell_name, group, day
+                    cell_name, group, day, metrics=metrics, tracer=tracer
                 )
             except SigmundError as exc:
                 # The whole cell job died; its retailers degrade, the
@@ -266,11 +275,18 @@ class InferencePipeline:
         cell_name: str,
         datasets: Dict[str, RetailerDataset],
         day: int,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ) -> Tuple[Dict[str, InferenceResult], JobStats, int, Dict[str, str]]:
         """Run one cell's inference job; the journaled-recovery unit.
 
         Returns ``(results, job_stats, model_loads, failed)``.  Raising
         :class:`SigmundError` means the whole cell job died.
+
+        Everything recorded on ``metrics`` here is a deterministic
+        function of this cell's inputs (models, selectors, block layout),
+        so the service can journal the snapshot with the cell payload and
+        replay it bit-identically on recovery.
         """
         # Per-retailer preload isolation: a retailer whose selector or
         # model cannot be prepared (stale model after a catalog grew,
@@ -289,6 +305,9 @@ class InferencePipeline:
                         f"before running inference on the new catalog"
                     )
                 selectors[rid] = self._build_selector(dataset)
+                # Candidate-selection counters land in this run's registry
+                # (the selector object itself is cached across days).
+                selectors[rid].metrics = metrics
                 models[rid] = (best.model_number, best.model)
                 # Prime the effective-item matrix once per loaded model: no
                 # updates happen during inference, so every candidate scoring
@@ -337,6 +356,12 @@ class InferencePipeline:
                 [UserContext((item,), (EventType.CONVERSION,)) for item in items],
                 selector.batch_purchase_based(items),
             )
+            metrics.counter(
+                "inference_blocks_total", retailer=retailer_id
+            ).inc()
+            metrics.counter(
+                "inference_items_total", retailer=retailer_id
+            ).inc(len(items))
             for item, view, purchase in zip(items, view_recs, purchase_recs):
                 yield retailer_id, (item, model_number, view, purchase)
 
@@ -371,7 +396,30 @@ class InferencePipeline:
             task_startup_seconds=self.model_load_seconds,
             failure_policy=self.failure_policy,
         )
-        outputs, job_stats = self.runtime.run(job, splits)
+        outputs, job_stats = self.runtime.run(
+            job, splits, metrics=metrics, tracer=tracer
+        )
+        metrics.counter(
+            "inference_billed_vm_seconds_total", cell=cell_name
+        ).inc(job_stats.billed_vm_seconds)
+        metrics.counter("inference_cost_total", cell=cell_name).inc(
+            job_stats.cost
+        )
+        metrics.counter(
+            "inference_model_loads_total", cell=cell_name
+        ).inc(loader_state["loads"])
+        metrics.counter(
+            "preemptions_total", phase="inference", cell=cell_name
+        ).inc(job_stats.preemptions)
+        metrics.counter(
+            "dead_letters_total", phase="inference", cell=cell_name
+        ).inc(len(job_stats.dead_letters))
+        metrics.counter(
+            "speculative_copies_total", phase="inference", cell=cell_name
+        ).inc(job_stats.speculative_copies)
+        metrics.gauge("inference_makespan_seconds", cell=cell_name).set(
+            job_stats.makespan_seconds
+        )
         results = {
             result.retailer_id: result
             for result in outputs
@@ -398,9 +446,11 @@ class InferencePipeline:
         total_work = sum(work.values())
         if total_work > 0 and job_stats.cost > 0:
             for rid, units in work.items():
-                self.ledger.attribute(
-                    f"chargeback/{rid}", job_stats.cost * units / total_work
-                )
+                share = job_stats.cost * units / total_work
+                self.ledger.attribute(f"chargeback/{rid}", share)
+                metrics.counter(
+                    "inference_cost_attributed_total", retailer=rid
+                ).inc(share)
         return results, job_stats, loader_state["loads"], failed
 
     def _binpacked_splits(
@@ -437,7 +487,9 @@ class InferencePipeline:
             and cached[0] is dataset
             and cached[1] == len(dataset.train)
         ):
+            self.process_metrics.counter("selector_cache_hits_total").inc()
             return cached[2]
+        self.process_metrics.counter("selector_cache_misses_total").inc()
         counts = CoOccurrenceCounts.from_interactions(dataset.n_items, dataset.train)
         detector = RepurchaseDetector(dataset.taxonomy, dataset.train)
         selector = CandidateSelector(

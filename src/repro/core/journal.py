@@ -55,6 +55,8 @@ class RunJournal:
         self._done: Dict[int, Dict[str, Dict[str, Dict[str, object]]]] = {}
         self._begun: Dict[int, Dict[str, object]] = {}
         self._committed: Dict[int, bool] = {}
+        # day -> the seal (observability snapshot) committed with it.
+        self._seals: Dict[int, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     # Writing
@@ -96,13 +98,26 @@ class RunJournal:
             )
         )
 
-    def commit_day(self, day: int) -> None:
+    def commit_day(
+        self, day: int, seal: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Mark the day durable, optionally with a **seal**.
+
+        The seal is the day's observability snapshot (metrics rollups,
+        report fields) written atomically with the commit record — the
+        parity contract of crash recovery is that a recovered day commits
+        a byte-identical seal to the uninterrupted run's.
+        """
         if day not in self._begun:
             raise JournalError(f"day {day} was never begun")
         if self._committed.get(day):
             raise JournalError(f"day {day} is already committed")
         self._committed[day] = True
-        self.entries.append(JournalEntry(day=day, kind="commit"))
+        if seal is not None:
+            self._seals[day] = seal
+        self.entries.append(
+            JournalEntry(day=day, kind="commit", payload=seal or {})
+        )
 
     # ------------------------------------------------------------------
     # Reading (the recovery path)
@@ -136,6 +151,16 @@ class RunJournal:
 
     def is_committed(self, day: int) -> bool:
         return bool(self._committed.get(day))
+
+    def day_seal(self, day: int) -> Dict[str, object]:
+        """The seal committed with ``day`` (raises when none exists)."""
+        if day not in self._seals:
+            raise JournalError(f"no seal committed for day {day}")
+        return self._seals[day]
+
+    def seals(self) -> Dict[int, Dict[str, object]]:
+        """All committed day seals, keyed by day."""
+        return dict(self._seals)
 
     def task_count(self, day: int, phase: str) -> int:
         return len(self._done.get(day, {}).get(phase, {}))

@@ -31,6 +31,9 @@ class Alert:
     kind: str = "regression"
     #: Free-form context, e.g. the exception message behind a failure.
     detail: str = ""
+    #: Which pipeline stage raised the alert ("training", "inference",
+    #: "publish"); empty for metric regressions, which are stage-less.
+    stage: str = ""
 
     @property
     def drop_fraction(self) -> float:
@@ -48,6 +51,8 @@ class QualityMonitor:
         self.regression_threshold = regression_threshold
         self._history: Dict[str, Dict[int, float]] = {}
         self.alerts: List[Alert] = []
+        # day -> the sealed observability snapshot the service recorded.
+        self._day_snapshots: Dict[int, Dict[str, object]] = {}
 
     def record(self, retailer_id: str, day: int, map_at_10: float) -> Optional[Alert]:
         """Record today's metric; returns an alert if it regressed badly."""
@@ -91,6 +96,7 @@ class QualityMonitor:
             current=0.0,
             kind="failure",
             detail=detail,
+            stage=stage,
         )
         self.alerts.append(alert)
         return alert
@@ -127,6 +133,18 @@ class QualityMonitor:
             "p10_map": float(np.percentile(arr, 10)),
             "p90_map": float(np.percentile(arr, 90)),
         }
+
+    def record_day_snapshot(self, day: int, seal: Dict[str, object]) -> None:
+        """Attach the day's sealed observability snapshot to the monitor.
+
+        Dashboards read fleet health and alert context from one place;
+        the seal is the same object the journal commits, so the monitor
+        view can never drift from the durable record.
+        """
+        self._day_snapshots[day] = seal
+
+    def day_snapshot(self, day: int) -> Optional[Dict[str, object]]:
+        return self._day_snapshots.get(day)
 
     def alerts_for_day(self, day: int) -> List[Alert]:
         return [alert for alert in self.alerts if alert.day == day]

@@ -29,6 +29,7 @@ from repro.core.training import TrainerSettings, train_config
 from repro.data.datasets import RetailerDataset
 from repro.exceptions import ConfigError
 from repro.models.bpr import BPRHyperParams, BPRModel
+from repro.obs.metrics import NULL_METRICS
 from repro.rng import SeedLike, derive_seed, make_rng
 
 
@@ -100,6 +101,7 @@ def random_search(
     n_trials: int = 16,
     settings: TrainerSettings = TrainerSettings(),
     seed: SeedLike = 0,
+    metrics=NULL_METRICS,
 ) -> SearchOutcome:
     """Train ``n_trials`` independently sampled configurations."""
     rng = make_rng(seed)
@@ -109,7 +111,12 @@ def random_search(
             rng, derive_seed(int(0 if seed is None else 0) or 0, dataset.retailer_id, "rs", trial)
         )
         config = ConfigRecord(dataset.retailer_id, trial, params)
-        _, output = train_config(config, dataset, settings)
+        _, output = train_config(config, dataset, settings, metrics=metrics)
+        metrics.counter(
+            "search_trials_total",
+            retailer=dataset.retailer_id,
+            strategy="random",
+        ).inc()
         outcome.outputs.append(output)
         outcome.total_epochs += output.epochs_run
     return outcome
@@ -123,6 +130,7 @@ def successive_halving(
     epochs_per_rung: int = 2,
     settings: TrainerSettings = TrainerSettings(),
     seed: SeedLike = 0,
+    metrics=NULL_METRICS,
 ) -> SearchOutcome:
     """Successive halving over randomly sampled configurations.
 
@@ -163,8 +171,14 @@ def successive_halving(
         for config, warm_model in candidates:
             rung_config = config.for_day(rung, warm_start=warm_model is not None)
             model, output = train_config(
-                rung_config, dataset, rung_settings, warm_model=warm_model
+                rung_config, dataset, rung_settings, warm_model=warm_model,
+                metrics=metrics,
             )
+            metrics.counter(
+                "search_trials_total",
+                retailer=dataset.retailer_id,
+                strategy="halving",
+            ).inc()
             outcome.total_epochs += output.epochs_run
             scored.append((output, model))
         scored.sort(key=lambda pair: -pair[0].map_at_10)

@@ -46,6 +46,9 @@ from repro.core.training import PipelineStats, TrainerSettings, TrainingPipeline
 from repro.data.datasets import RetailerDataset
 from repro.exceptions import DataError, SigmundError
 from repro.mapreduce.runtime import FaultPlan
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.snapshot import build_day_seal
+from repro.obs.tracing import NULL_TRACER
 from repro.serving.gate import PublishGate
 from repro.serving.server import RecommendationServer
 from repro.serving.store import RecommendationStore
@@ -112,15 +115,23 @@ class SigmundService:
         publish_gate: Optional[PublishGate] = None,
         checkpoint_storage: Optional[CheckpointStorage] = None,
         checkpoint_fault_plan: Optional[CheckpointFaultPlan] = None,
+        metrics=None,
+        tracer=None,
     ):
         self.cluster = cluster
+        #: Process-level observability (None -> the zero-overhead nulls).
+        #: Day-scoped metrics live in per-day registries built inside
+        #: :meth:`_execute_day`; this registry accumulates cross-day
+        #: process state (ledger, stores, caches, gate).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = ModelRegistry()
         self.monitor = QualityMonitor()
-        self.ledger = CostLedger(pricing)
+        self.ledger = CostLedger(pricing, metrics=self.metrics)
         self.planner = SweepPlanner(grid, top_k=top_k_incremental, base_seed=seed)
         self.journal = RunJournal()
         self.crash_plan = crash_plan
-        self.gate = publish_gate or PublishGate()
+        self.gate = publish_gate or PublishGate(metrics=self.metrics)
         self.training = TrainingPipeline(
             cluster,
             self.registry,
@@ -144,8 +155,13 @@ class SigmundService:
             fault_plan=fault_plan,
             crash_plan=crash_plan,
         )
-        self.substitutes_store = RecommendationStore()
-        self.accessories_store = RecommendationStore()
+        self.inference.process_metrics = self.metrics
+        self.substitutes_store = RecommendationStore(
+            metrics=self.metrics, name="substitutes"
+        )
+        self.accessories_store = RecommendationStore(
+            metrics=self.metrics, name="accessories"
+        )
         self.substitutes_server = RecommendationServer(self.substitutes_store)
         self.accessories_server = RecommendationServer(self.accessories_store)
         self.full_restart_every = full_restart_every
@@ -251,17 +267,41 @@ class SigmundService:
         report = DailyRunReport(day=day, sweep_kind=str(intent["sweep_kind"]))
         self._check("day_begin")
 
-        failure_reasons = self._train_phase(day, intent, report)
-        results, infer_stats = self._inference_phase(day, failure_reasons, report)
-        served = self._publish_phase(day, results, failure_reasons, report)
-        self._wrapup_phase(day, served, failure_reasons, report)
+        # The day registry folds *only* journaled task payloads (plus
+        # values derived from them), and a fresh one is built per
+        # execution — the two facts that make a crashed-and-recovered
+        # day seal metrics byte-identical to an uninterrupted run's.
+        day_metrics = MetricsRegistry() if self.metrics.enabled else NULL_METRICS
+        with self.tracer.span(
+            "run_day", day=day, sweep_kind=report.sweep_kind
+        ):
+            with self.tracer.span("train_phase"):
+                failure_reasons = self._train_phase(
+                    day, intent, report, day_metrics
+                )
+            with self.tracer.span("inference_phase"):
+                results, infer_stats = self._inference_phase(
+                    day, failure_reasons, report, day_metrics
+                )
+            with self.tracer.span("publish_phase"):
+                served = self._publish_phase(
+                    day, results, failure_reasons, report, day_metrics
+                )
+            with self.tracer.span("wrapup"):
+                self._wrapup_phase(
+                    day, served, failure_reasons, report, day_metrics
+                )
 
         self.reports.append(report)
         return report
 
     # -- phase 1: per-retailer training --------------------------------
     def _train_phase(
-        self, day: int, intent: Dict[str, object], report: DailyRunReport
+        self,
+        day: int,
+        intent: Dict[str, object],
+        report: DailyRunReport,
+        day_metrics=NULL_METRICS,
     ) -> Dict[str, str]:
         configs: List[ConfigRecord] = list(intent["configs"])  # type: ignore[arg-type]
         by_retailer: Dict[str, List[ConfigRecord]] = {}
@@ -269,6 +309,8 @@ class SigmundService:
             by_retailer.setdefault(config.retailer_id, []).append(config)
 
         failure_reasons: Dict[str, str] = {}
+        phase_start = self.tracer.clock.now if self.tracer.enabled else 0.0
+        phase_makespan = 0.0
         for retailer_id in sorted(by_retailer):
             if self.journal.is_done(day, "train", retailer_id):
                 # Completed before the crash: replay the report numbers
@@ -285,12 +327,29 @@ class SigmundService:
             report.configs_trained += int(payload["trained"])  # type: ignore[call-overload]
             report.configs_failed += int(payload["failed"])  # type: ignore[call-overload]
             report.training_cost += float(payload["cost"])  # type: ignore[arg-type]
-            report.training_makespan = max(
-                report.training_makespan, float(payload["makespan"])  # type: ignore[arg-type]
-            )
+            makespan = float(payload["makespan"])  # type: ignore[arg-type]
+            report.training_makespan = max(report.training_makespan, makespan)
             report.preemptions += int(payload["preemptions"])  # type: ignore[call-overload]
             if payload.get("failure"):
                 failure_reasons[retailer_id] = str(payload["failure"])
+            snapshot = payload.get("metrics")
+            if snapshot is not None:
+                day_metrics.fold(snapshot)
+            day_metrics.gauge(
+                "train_makespan_seconds", retailer=retailer_id
+            ).set(makespan)
+            if self.tracer.enabled:
+                self.tracer.record_span(
+                    "train_retailer",
+                    phase_start,
+                    phase_start + makespan,
+                    retailer=retailer_id,
+                )
+                phase_makespan = max(phase_makespan, makespan)
+        if self.tracer.enabled:
+            # Retailer sweeps run "in parallel": the phase lasts as long
+            # as its slowest retailer, not the sum.
+            self.tracer.clock.advance(phase_makespan)
         return failure_reasons
 
     def _train_retailer(
@@ -298,8 +357,20 @@ class SigmundService:
     ) -> Dict[str, object]:
         """Train one retailer's configs; the journaled unit of work."""
         failure: Optional[str] = None
+        # Per-task registry: its snapshot travels in the journal payload,
+        # so a recovered day folds the exact snapshot the crashed run
+        # recorded instead of re-deriving (and double-counting) it.
+        task_metrics = (
+            MetricsRegistry() if self.metrics.enabled else NULL_METRICS
+        )
         try:
-            _, train_stats = self.training.run(configs, self._datasets, day=day)
+            _, train_stats = self.training.run(
+                configs,
+                self._datasets,
+                day=day,
+                metrics=task_metrics,
+                tracer=self.tracer,
+            )
         except SigmundError as exc:
             # This retailer's sweep died outright (e.g. no free capacity
             # for its job); it degrades to yesterday's models while the
@@ -325,6 +396,7 @@ class SigmundService:
             "makespan": train_stats.makespan_seconds,
             "preemptions": train_stats.preemptions,
             "failure": failure,
+            "metrics": task_metrics.snapshot(),
         }
 
     # -- phase 2: per-cell inference -----------------------------------
@@ -333,6 +405,7 @@ class SigmundService:
         day: int,
         failure_reasons: Dict[str, str],
         report: DailyRunReport,
+        day_metrics=NULL_METRICS,
     ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
         stats = InferenceStats()
         # A retailer whose training failed outright is served from
@@ -358,6 +431,8 @@ class SigmundService:
 
         results: Dict[str, InferenceResult] = {}
         failed: Dict[str, str] = {}
+        phase_start = self.tracer.clock.now if self.tracer.enabled else 0.0
+        phase_makespan = 0.0
         for cell_name, retailer_group in assignment:
             if self.journal.is_done(day, "infer", cell_name):
                 payload = self.journal.task_payload(day, "infer", cell_name)
@@ -370,41 +445,73 @@ class SigmundService:
                         payload["job_stats"],  # type: ignore[arg-type]
                         int(payload["loads"]),  # type: ignore[arg-type]
                     )
-                continue
-            self._check("infer_cell", cell_name)
-            group = {
-                rid: self._datasets[rid]
-                for rid in retailer_group
-                if rid in self._datasets
-            }
-            payload: Dict[str, object]
-            try:
-                cell_results, job_stats, loads, cell_failed = (
-                    self.inference.run_cell(cell_name, group, day)
-                )
-            except SigmundError as exc:
-                cell_failed = {
-                    rid: f"cell {cell_name!r}: {exc}" for rid in group
-                }
-                payload = {
-                    "results": {},
-                    "failed": cell_failed,
-                    "job_stats": None,
-                    "loads": 0,
-                }
-                failed.update(cell_failed)
             else:
-                payload = {
-                    "results": cell_results,
-                    "failed": cell_failed,
-                    "job_stats": job_stats,
-                    "loads": loads,
+                self._check("infer_cell", cell_name)
+                group = {
+                    rid: self._datasets[rid]
+                    for rid in retailer_group
+                    if rid in self._datasets
                 }
-                results.update(cell_results)
-                failed.update(cell_failed)
-                self.inference.fold_cell(stats, cell_name, job_stats, loads)
-            self.journal.log_task(day, "infer", cell_name, payload)
-            self._check("infer_logged", cell_name)
+                # Per-cell registry journaled with the payload, like the
+                # train phase: recovery folds the recorded snapshot.
+                cell_metrics = (
+                    MetricsRegistry() if self.metrics.enabled else NULL_METRICS
+                )
+                payload: Dict[str, object]
+                try:
+                    cell_results, job_stats, loads, cell_failed = (
+                        self.inference.run_cell(
+                            cell_name,
+                            group,
+                            day,
+                            metrics=cell_metrics,
+                            tracer=self.tracer,
+                        )
+                    )
+                except SigmundError as exc:
+                    cell_failed = {
+                        rid: f"cell {cell_name!r}: {exc}" for rid in group
+                    }
+                    payload = {
+                        "results": {},
+                        "failed": cell_failed,
+                        "job_stats": None,
+                        "loads": 0,
+                        "metrics": cell_metrics.snapshot(),
+                    }
+                    failed.update(cell_failed)
+                else:
+                    payload = {
+                        "results": cell_results,
+                        "failed": cell_failed,
+                        "job_stats": job_stats,
+                        "loads": loads,
+                        "metrics": cell_metrics.snapshot(),
+                    }
+                    results.update(cell_results)
+                    failed.update(cell_failed)
+                    self.inference.fold_cell(stats, cell_name, job_stats, loads)
+                self.journal.log_task(day, "infer", cell_name, payload)
+                self._check("infer_logged", cell_name)
+            snapshot = payload.get("metrics")
+            if snapshot is not None:
+                day_metrics.fold(snapshot)
+            if self.tracer.enabled:
+                job_stats_payload = payload.get("job_stats")
+                cell_makespan = (
+                    job_stats_payload.makespan_seconds
+                    if job_stats_payload is not None
+                    else 0.0
+                )
+                self.tracer.record_span(
+                    "infer_cell",
+                    phase_start,
+                    phase_start + cell_makespan,
+                    cell=cell_name,
+                )
+                phase_makespan = max(phase_makespan, cell_makespan)
+        if self.tracer.enabled:
+            self.tracer.clock.advance(phase_makespan)
         self.inference.finalize_stats(stats, results, failed)
 
         for retailer_id in stats.failed_retailers:
@@ -425,6 +532,7 @@ class SigmundService:
         results: Dict[str, InferenceResult],
         failure_reasons: Dict[str, str],
         report: DailyRunReport,
+        day_metrics=NULL_METRICS,
     ) -> List[str]:
         """Validate and atomically load each retailer's tables; returns
         the retailers actually served fresh today."""
@@ -433,24 +541,26 @@ class SigmundService:
         for retailer_id in sorted(results):
             if self.journal.is_done(day, "publish", retailer_id):
                 payload = self.journal.task_payload(day, "publish", retailer_id)
-                if payload["accepted"]:
-                    served.append(retailer_id)
-                else:
-                    report.publishes_rejected += 1
-                    failure_reasons[retailer_id] = str(payload["reason"])
-                continue
-            self._check("publish", retailer_id)
-            result = results[retailer_id]
-            accepted, reason = self._publish_retailer(
-                day, retailer_id, result, version
-            )
-            self.journal.log_task(
-                day,
-                "publish",
-                retailer_id,
-                {"accepted": accepted, "reason": reason},
-            )
-            self._check("publish_logged", retailer_id)
+                accepted = bool(payload["accepted"])
+                reason = str(payload["reason"])
+            else:
+                self._check("publish", retailer_id)
+                result = results[retailer_id]
+                accepted, reason = self._publish_retailer(
+                    day, retailer_id, result, version
+                )
+                self.journal.log_task(
+                    day,
+                    "publish",
+                    retailer_id,
+                    {"accepted": accepted, "reason": reason},
+                )
+                self._check("publish_logged", retailer_id)
+            day_metrics.counter(
+                "publish_total",
+                retailer=retailer_id,
+                outcome="accepted" if accepted else "rejected",
+            ).inc()
             if accepted:
                 served.append(retailer_id)
             else:
@@ -532,6 +642,7 @@ class SigmundService:
         served: List[str],
         failure_reasons: Dict[str, str],
         report: DailyRunReport,
+        day_metrics=NULL_METRICS,
     ) -> None:
         # The kill point sits *before* any monitor mutation: recording is
         # not idempotent, so a wrap-up crash must happen before all of it
@@ -555,6 +666,7 @@ class SigmundService:
                 detail=failure_reasons[retailer_id],
             )
             report.alerts += 1
+            day_metrics.counter("alerts_total", kind="failure").inc()
 
         # Refresh the re-purchase surface (section III-D1): detectors are
         # rebuilt daily from the latest training data.
@@ -574,8 +686,32 @@ class SigmundService:
                 alert = self.monitor.record(retailer_id, day, best.map_at_10)
                 if alert is not None:
                     report.alerts += 1
+                    day_metrics.counter(
+                        "alerts_total", kind="regression"
+                    ).inc()
 
-        self.journal.commit_day(day)
+        day_metrics.counter("retailers_total", status="served").inc(
+            report.retailers_served
+        )
+        day_metrics.counter("retailers_total", status="stale").inc(
+            report.retailers_stale
+        )
+        day_metrics.counter("retailers_total", status="unserved").inc(
+            report.retailers_unserved
+        )
+
+        # The seal is written atomically with the commit record; it is
+        # the artifact the crash-recovery parity suite compares byte for
+        # byte between recovered and uninterrupted runs.
+        seal = build_day_seal(
+            day,
+            report.sweep_kind,
+            report,
+            day_metrics.snapshot(),
+            self.retailers,
+        )
+        self.journal.commit_day(day, seal=seal)
+        self.monitor.record_day_snapshot(day, seal)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -53,7 +53,13 @@ from repro.models.negatives import (
     UniformNegativeSampler,
 )
 from repro.models.trainer import BPRTrainer, TrainingReport
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.rng import derive_seed
+
+#: Buckets for per-config simulated training seconds (FAST test configs
+#: land in the first cells, paper-scale retailers in the hour-range ones).
+TRAIN_SECONDS_BUCKETS = (1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0, 43200.0)
 
 
 @dataclass(frozen=True)
@@ -135,6 +141,32 @@ def _make_sampler(
     )
 
 
+def _record_train_metrics(metrics, output: OutputConfigRecord) -> None:
+    """Fold one Train() invocation into a metrics registry.
+
+    Recorded from the output record's *absolute* totals (restored epochs
+    included), so a run resumed from a checkpoint reports the same
+    numbers an uninterrupted run would — the invariant the crash-parity
+    suite asserts.
+    """
+    retailer = output.retailer_id
+    metrics.counter("train_epochs_total", retailer=retailer).inc(
+        output.epochs_run
+    )
+    metrics.counter("train_sgd_steps_total", retailer=retailer).inc(
+        output.sgd_steps
+    )
+    metrics.counter("train_seconds_total", retailer=retailer).inc(
+        output.train_seconds
+    )
+    metrics.counter(
+        "train_configs_total", retailer=retailer, outcome="trained"
+    ).inc()
+    metrics.histogram(
+        "train_config_seconds", TRAIN_SECONDS_BUCKETS, retailer=retailer
+    ).observe(output.train_seconds)
+
+
 def train_config(
     config: ConfigRecord,
     dataset: RetailerDataset,
@@ -143,6 +175,7 @@ def train_config(
     checkpoints: Optional[CheckpointManager] = None,
     start_time: float = 0.0,
     crash_plan: Optional["CrashPlan"] = None,
+    metrics=NULL_METRICS,
 ) -> Tuple[BPRModel, OutputConfigRecord]:
     """The paper's Train(): config record in, model + output record out.
 
@@ -168,7 +201,9 @@ def train_config(
             f"config {config.key} cannot train on {dataset.retailer_id!r} data"
         )
     if config.model_kind == "wals":
-        return _train_wals_config(config, dataset, settings, warm_model, start_time)
+        return _train_wals_config(
+            config, dataset, settings, warm_model, start_time, metrics
+        )
     model = BPRModel(dataset.catalog, dataset.taxonomy, config.params)
     if warm_model is not None and isinstance(warm_model, BPRModel):
         model.warm_start_from(warm_model)
@@ -195,15 +230,20 @@ def train_config(
         seed=derive_seed(config.params.seed, "trainer"),
     )
     report = TrainingReport()
-    simulated_now = start_time
     epoch_seconds = (
         trainer.n_examples
         * settings.seconds_per_sgd_step
         / settings.thread_speedup()
     )
+    # Totals are *absolute*: epochs restored from a checkpoint count as
+    # run (they were, before the crash), so a resumed Train() reports the
+    # same epochs/steps/seconds as the uninterrupted run it replaces.
+    report.epochs_run = start_epoch
+    report.sgd_steps = start_epoch * trainer.n_examples
+    simulated_now = start_time + start_epoch * epoch_seconds
     for epoch, loss in trainer.iter_epochs():
         absolute_epoch = start_epoch + epoch
-        report.epochs_run = epoch + 1
+        report.epochs_run = absolute_epoch + 1
         report.sgd_steps += trainer.n_examples
         report.epoch_losses.append(loss)
         simulated_now += epoch_seconds
@@ -226,6 +266,7 @@ def train_config(
         sgd_steps=report.sgd_steps,
         train_seconds=simulated_now - start_time,
     )
+    _record_train_metrics(metrics, output)
     return model, output
 
 
@@ -235,6 +276,7 @@ def _train_wals_config(
     settings: TrainerSettings,
     warm_model,
     start_time: float,
+    metrics=NULL_METRICS,
 ):
     """Train() for the least-squares substitute (paper section VI).
 
@@ -276,6 +318,7 @@ def _train_wals_config(
         sgd_steps=steps,
         train_seconds=simulated_seconds,
     )
+    _record_train_metrics(metrics, output)
     return model, output
 
 
@@ -440,12 +483,20 @@ class TrainingPipeline:
         configs: Sequence[ConfigRecord],
         datasets: Dict[str, RetailerDataset],
         day: int = 0,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ) -> Tuple[List[OutputConfigRecord], PipelineStats]:
         """Train every config record; returns outputs + execution stats.
 
         A failed config (or a whole failed cell job) is reported on the
         stats instead of aborting the sweep: the remaining cells and
         configs still train and publish.
+
+        ``metrics`` collects this run's throughput/cost series (per
+        retailer via Train(), per cell via the job stats); everything
+        recorded here derives deterministically from the run's inputs,
+        which is what lets the service seal a crashed-and-recovered
+        day's metrics bit-identical to an uninterrupted one.
         """
         stats = PipelineStats()
         if not configs:
@@ -464,7 +515,7 @@ class TrainingPipeline:
                 continue
             try:
                 job_outputs, job_stats = self._run_cell_job(
-                    cell_name, chunk, datasets, day
+                    cell_name, chunk, datasets, day, metrics, tracer
                 )
             except SigmundError as exc:
                 # The whole cell job died (capacity, isolation, a crash
@@ -495,6 +546,12 @@ class TrainingPipeline:
         stats.failed_retailers = sorted(
             {failure.retailer_id for failure in stats.failures} - succeeded
         )
+        for failure in stats.failures:
+            metrics.counter(
+                "train_configs_total",
+                retailer=failure.retailer_id,
+                outcome="failed",
+            ).inc()
         return outputs, stats
 
     def _run_cell_job(
@@ -503,6 +560,8 @@ class TrainingPipeline:
         configs: List[ConfigRecord],
         datasets: Dict[str, RetailerDataset],
         day: int,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ) -> Tuple[List[OutputConfigRecord], JobStats]:
         settings = self.settings
         registry = self.registry
@@ -519,6 +578,7 @@ class TrainingPipeline:
                 warm_model=warm_model,
                 checkpoints=self.checkpoints,
                 crash_plan=self.crash_plan,
+                metrics=metrics,
             )
             # Publication happens after the job, from surviving outputs
             # only — a config on a task that later fails permanently must
@@ -564,8 +624,27 @@ class TrainingPipeline:
         # One config record per split: a map task trains exactly one model,
         # so no machine ever holds two retailers' models at once.
         splits = uniform_splits(configs, len(configs))
-        raw_outputs, job_stats = self.runtime.run(job, splits)
-        self._attribute_chargebacks(configs, record_cost, job_stats.cost)
+        raw_outputs, job_stats = self.runtime.run(
+            job, splits, metrics=metrics, tracer=tracer
+        )
+        metrics.counter(
+            "train_billed_vm_seconds_total", cell=cell_name
+        ).inc(job_stats.billed_vm_seconds)
+        metrics.counter(
+            "preemptions_total", phase="train", cell=cell_name
+        ).inc(job_stats.preemptions)
+        metrics.counter(
+            "dead_letters_total", phase="train", cell=cell_name
+        ).inc(len(job_stats.dead_letters))
+        metrics.counter(
+            "speculative_copies_total", phase="train", cell=cell_name
+        ).inc(job_stats.speculative_copies)
+        metrics.gauge("train_makespan_seconds", cell=cell_name).set(
+            job_stats.makespan_seconds
+        )
+        self._attribute_chargebacks(
+            configs, record_cost, job_stats.cost, metrics
+        )
         outputs: List[OutputConfigRecord] = []
         for entry in _trained_models(raw_outputs):
             registry.publish(entry)
@@ -577,6 +656,7 @@ class TrainingPipeline:
         configs: List[ConfigRecord],
         record_cost,
         job_cost: float,
+        metrics=NULL_METRICS,
     ) -> None:
         """Split one job's bill across retailers ∝ estimated work (§V).
 
@@ -594,6 +674,9 @@ class TrainingPipeline:
             self.ledger.attribute(
                 f"chargeback/{config.retailer_id}", job_cost * share
             )
+            metrics.counter(
+                "train_cost_total", retailer=config.retailer_id
+            ).inc(job_cost * share)
 
     def _warm_model(self, config: ConfigRecord) -> Optional[BPRModel]:
         if not config.warm_start or not self.registry.has_models(config.retailer_id):

@@ -35,6 +35,8 @@ from repro.cluster.machine import Priority, VMRequest
 from repro.cluster.preemption import PreemptionModel
 from repro.exceptions import FaultInjectedError, MapReduceError
 from repro.mapreduce.splits import InputSplit
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.rng import SeedLike, make_rng
 
 #: A mapper takes one record and yields (key, value) pairs.
@@ -241,14 +243,33 @@ class MapReduceRuntime:
     # Public API
     # ------------------------------------------------------------------
     def run(
-        self, job: MapReduceJob, splits: Sequence[InputSplit]
+        self,
+        job: MapReduceJob,
+        splits: Sequence[InputSplit],
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ) -> Tuple[List[object], JobStats]:
-        """Execute ``job`` over ``splits``; returns (outputs, stats)."""
+        """Execute ``job`` over ``splits``; returns (outputs, stats).
+
+        ``metrics`` receives job-level counters; ``tracer`` receives one
+        span per map-task copy (including speculative backups) on the
+        job-relative simulated timeline.  Both default to the shared
+        no-op singletons, so uninstrumented callers pay nothing.
+        """
         stats = JobStats(job_name=job.name, map_tasks=len(splits))
-        intermediate = self._map_phase(job, splits, stats)
-        outputs = self._reduce_phase(job, intermediate, stats)
+        intermediate = self._map_phase(job, splits, stats, tracer)
+        outputs = self._reduce_phase(job, intermediate, stats, tracer)
         stats.cost = self.ledger.charge(
             job.name, job.vm_request, stats.billed_vm_seconds
+        )
+        metrics.counter("mapreduce_tasks_total", job=job.name).inc(
+            stats.map_tasks
+        )
+        metrics.counter("mapreduce_attempts_total", job=job.name).inc(
+            stats.map_attempts
+        )
+        metrics.counter("mapreduce_records_skipped_total", job=job.name).inc(
+            stats.records_skipped
         )
         return outputs, stats
 
@@ -256,7 +277,11 @@ class MapReduceRuntime:
     # Map phase
     # ------------------------------------------------------------------
     def _map_phase(
-        self, job: MapReduceJob, splits: Sequence[InputSplit], stats: JobStats
+        self,
+        job: MapReduceJob,
+        splits: Sequence[InputSplit],
+        stats: JobStats,
+        tracer=NULL_TRACER,
     ) -> Dict[object, List[object]]:
         skip = job.failure_policy == SKIP_RECORD
         # Real execution: each record through the mapper exactly once.
@@ -292,8 +317,9 @@ class MapReduceRuntime:
         # sampling VM uptime per attempt.
         intermediate: Dict[object, List[object]] = defaultdict(list)
         workers = [0.0] * job.n_workers
-        for split, duration, pairs in tasks:
+        for task_index, (split, duration, pairs) in enumerate(tasks):
             worker = min(range(job.n_workers), key=lambda w: workers[w])
+            task_start = workers[worker]
             run = self._simulate_attempts(
                 duration, job.vm_request.priority, split.records
             )
@@ -316,6 +342,27 @@ class MapReduceRuntime:
                 attempts += backup.attempts
                 preemptions += backup.preemptions
                 stats.speculative_copies += 1
+                tracer.record_span(
+                    "speculative_copy",
+                    task_start,
+                    task_start + min(backup.wall, winner),
+                    job=job.name,
+                    task=task_index,
+                    attempts=backup.attempts,
+                    preemptions=backup.preemptions,
+                    won=backup.completed and backup.wall < run.wall,
+                )
+            tracer.record_span(
+                "map_task",
+                task_start,
+                task_start + elapsed,
+                job=job.name,
+                task=task_index,
+                worker=worker,
+                attempts=attempts,
+                preemptions=preemptions,
+                completed=run.completed,
+            )
             workers[worker] += elapsed
             stats.billed_vm_seconds += billed
             stats.map_attempts += attempts
@@ -394,11 +441,21 @@ class MapReduceRuntime:
         job: MapReduceJob,
         intermediate: Dict[object, List[object]],
         stats: JobStats,
+        tracer=NULL_TRACER,
     ) -> List[object]:
         outputs: List[object] = []
         for key in sorted(intermediate, key=repr):
             outputs.extend(job.reducer(key, intermediate[key]))
         stats.reduce_seconds = len(outputs) * job.reduce_record_seconds
+        map_makespan = stats.makespan_seconds
         stats.makespan_seconds += stats.reduce_seconds
         stats.billed_vm_seconds += stats.reduce_seconds
+        if stats.reduce_seconds > 0:
+            tracer.record_span(
+                "reduce_phase",
+                map_makespan,
+                stats.makespan_seconds,
+                job=job.name,
+                outputs=len(outputs),
+            )
         return outputs

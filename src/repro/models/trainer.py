@@ -29,7 +29,11 @@ from repro.data.sessions import UserContext, context_windows
 from repro.exceptions import ConfigError, DataError
 from repro.models.bpr import BPRModel, concat_ranges
 from repro.models.negatives import NegativeSampler, UniformNegativeSampler
+from repro.obs.metrics import NULL_METRICS
 from repro.rng import SeedLike, make_rng
+
+#: Epoch mean-loss distribution buckets (BPR log-loss starts near ln 2).
+EPOCH_LOSS_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.0)
 
 
 @dataclass(frozen=True)
@@ -99,6 +103,7 @@ class BPRTrainer:
         strength_constraints: bool = True,
         batch_size: int = 1,
         seed: SeedLike = None,
+        metrics=NULL_METRICS,
     ):
         if dataset.retailer_id != model.retailer_id:
             raise DataError(
@@ -118,6 +123,10 @@ class BPRTrainer:
         #: vectorized mini-batch path (same regularization and weighting
         #: semantics, gradients evaluated at pre-batch parameters).
         self.batch_size = batch_size
+        #: Per-epoch observability; instruments are fetched per epoch (not
+        #: per SGD step) so a live registry costs nothing measurable and
+        #: the default null registry costs one no-op call per epoch.
+        self.metrics = metrics
         self._rng = make_rng(seed if seed is not None else model.params.seed)
         self._converged = False
         self.examples: List[TrainingExample] = self._build_examples()
@@ -276,10 +285,18 @@ class BPRTrainer:
             self._converged = True
             yield 0, 0.0
             return
+        retailer = self.dataset.retailer_id
         stale = 0
         previous = float("inf")
         for epoch in range(self.max_epochs):
             loss = self.run_epoch()
+            self.metrics.counter("trainer_epochs_total", retailer=retailer).inc()
+            self.metrics.counter(
+                "trainer_sgd_steps_total", retailer=retailer
+            ).inc(len(self.examples))
+            self.metrics.histogram(
+                "trainer_epoch_loss", EPOCH_LOSS_BUCKETS, retailer=retailer
+            ).observe(loss)
             yield epoch, loss
             if previous != float("inf"):
                 # At zero loss there is nothing left to improve: count the

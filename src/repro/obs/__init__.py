@@ -1,0 +1,50 @@
+"""Observability: metrics, simulated-clock tracing, fleet snapshots."""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+    merge_snapshots,
+    metric_key,
+)
+from repro.obs.snapshot import (
+    SCHEMA_VERSION,
+    build_day_seal,
+    build_fleet_snapshot,
+    build_process_section,
+    fleet_rollup,
+    fleet_snapshot_json,
+    retailer_rollup,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "MetricsSnapshot",
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "merge_snapshots",
+    "metric_key",
+    "DEFAULT_BUCKETS",
+    "NULL_METRICS",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "SCHEMA_VERSION",
+    "build_day_seal",
+    "build_fleet_snapshot",
+    "build_process_section",
+    "fleet_rollup",
+    "retailer_rollup",
+    "fleet_snapshot_json",
+]

@@ -33,6 +33,7 @@ from typing import List, Mapping, Optional, Sequence
 
 from repro.exceptions import PublishRejectedError
 from repro.models.base import ScoredItem
+from repro.obs.metrics import NULL_METRICS
 from repro.serving.store import RecommendationStore
 
 #: Fraction of the catalog that must have at least one recommendation.
@@ -68,6 +69,7 @@ class PublishGate:
         self,
         min_coverage: float = DEFAULT_MIN_COVERAGE,
         max_map_drop: float = DEFAULT_MAX_MAP_DROP,
+        metrics=NULL_METRICS,
     ):
         if not 0.0 <= min_coverage <= 1.0:
             raise ValueError("min_coverage must be in [0, 1]")
@@ -75,6 +77,9 @@ class PublishGate:
             raise ValueError("max_map_drop must be in (0, 1]")
         self.min_coverage = min_coverage
         self.max_map_drop = max_map_drop
+        #: Process-level registry: validations accumulate across days, so
+        #: these counters are not part of the crash-parity contract.
+        self.metrics = metrics
         #: Every rejection, for dashboards/tests: (retailer_id, reason).
         self.rejections: List[GateDecision] = []
 
@@ -143,6 +148,10 @@ class PublishGate:
         )
         if not decision.accepted:
             self.rejections.append(decision)
+        self.metrics.counter(
+            "gate_validations_total",
+            outcome="accepted" if decision.accepted else "rejected",
+        ).inc()
         return decision
 
     def validate_or_raise(self, *args, **kwargs) -> GateDecision:

@@ -13,6 +13,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ServingError
 from repro.models.base import ScoredItem
+from repro.obs.metrics import NULL_METRICS
 
 
 @dataclass
@@ -49,13 +50,19 @@ class _RetailerTable:
 class RecommendationStore:
     """In-memory item -> top-N recommendations, per retailer, versioned."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=NULL_METRICS, name: str = "store") -> None:
         self._tables: Dict[str, _RetailerTable] = {}
         #: Last-good predecessor of each current table, kept so a table
         #: that passed the publish gate but turns out bad in production
         #: can be rolled back without a republish.
         self._previous: Dict[str, _RetailerTable] = {}
         self.stats = StoreStats()
+        #: Process-level registry mirroring :attr:`stats`; store state
+        #: accumulates across days so these counters are not part of the
+        #: crash-parity contract.  ``name`` distinguishes the two serving
+        #: surfaces (substitutes vs accessories).
+        self.metrics = metrics
+        self.name = name
 
     # ------------------------------------------------------------------
     # Batch loading (the only write path)
@@ -75,6 +82,9 @@ class RecommendationStore:
         current = self._tables.get(retailer_id)
         if current is not None and version <= current.version:
             self.stats.stale_batches_rejected += 1
+            self.metrics.counter(
+                "store_stale_rejected_total", store=self.name
+            ).inc()
             raise ServingError(
                 f"stale batch for {retailer_id!r}: version {version} <= "
                 f"current {current.version}"
@@ -89,6 +99,9 @@ class RecommendationStore:
             self._previous[retailer_id] = current
         self._tables[retailer_id] = table
         self.stats.batches_loaded += 1
+        self.metrics.counter(
+            "store_batches_loaded_total", store=self.name
+        ).inc()
 
     def rollback(self, retailer_id: str) -> int:
         """Re-serve the last-good table (the one the current load replaced).
@@ -107,6 +120,7 @@ class RecommendationStore:
             )
         self._tables[retailer_id] = previous
         self.stats.rollbacks += 1
+        self.metrics.counter("store_rollbacks_total", store=self.name).inc()
         return previous.version
 
     def drop_retailer(self, retailer_id: str) -> None:
@@ -126,13 +140,16 @@ class RecommendationStore:
     def lookup(self, retailer_id: str, item_index: int) -> List[ScoredItem]:
         """Precomputed recommendations for one item (empty when unknown)."""
         self.stats.lookups += 1
+        self.metrics.counter("store_lookups_total", store=self.name).inc()
         table = self._tables.get(retailer_id)
         if table is None:
             self.stats.misses += 1
+            self.metrics.counter("store_misses_total", store=self.name).inc()
             raise ServingError(f"no recommendations loaded for {retailer_id!r}")
         recs = table.recommendations.get(int(item_index))
         if recs is None:
             self.stats.misses += 1
+            self.metrics.counter("store_misses_total", store=self.name).inc()
             return []
         return list(recs)
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -48,6 +50,13 @@ class TestParser:
         assert args.retailers == 2
         assert args.days == 1
 
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.command == "metrics"
+        assert args.retailers == 3
+        assert args.days == 1
+        assert args.indent == 2
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -79,3 +88,23 @@ class TestCommands:
                      "--factors", "4"]) == 0
         out = capsys.readouterr().out
         assert "map@10" in out
+
+    def test_metrics_emits_valid_fleet_snapshot(self, capsys):
+        code = main(["metrics", "--retailers", "2", "--days", "1",
+                     "--median-items", "40"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {
+            "schema_version", "day", "sweep_kind", "report", "fleet",
+            "retailers", "metrics", "process",
+        }
+        assert snapshot["schema_version"] == 1
+        assert snapshot["day"] == 0
+        assert snapshot["sweep_kind"] == "full"
+        assert len(snapshot["retailers"]) == 2
+        for rollup in snapshot["retailers"].values():
+            assert rollup["configs_trained"] > 0
+            assert rollup["triples_per_second"] > 0
+        assert snapshot["fleet"]["publishes_accepted"] == 2
+        assert snapshot["metrics"]["counters"]
+        assert snapshot["process"]["checkpoints"]["writes"] >= 0

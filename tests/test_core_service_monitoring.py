@@ -79,6 +79,43 @@ class TestMonitor:
         with pytest.raises(ValueError):
             QualityMonitor(regression_threshold=0.0)
 
+    def test_failure_alert_carries_stage(self):
+        monitor = QualityMonitor()
+        alert = monitor.record_failure(
+            "r", 0, stage="training", detail="training: cell died"
+        )
+        assert alert.kind == "failure"
+        assert alert.stage == "training"
+        assert alert.metric == "training_availability"
+        assert monitor.failures_for_day(0) == [alert]
+
+    def test_regression_alert_is_stage_less(self):
+        monitor = QualityMonitor(regression_threshold=0.3)
+        monitor.record("r", 0, 0.5)
+        alert = monitor.record("r", 1, 0.2)
+        assert alert is not None
+        assert alert.kind == "regression"
+        assert alert.stage == ""
+
+    def test_service_failure_alerts_labeled_with_stage(self):
+        """The wrap-up derives the stage label from the failure reason, so
+        operators can slice alerts by pipeline stage."""
+        from repro.serving.gate import GateDecision, PublishGate
+
+        class _RejectEverything(PublishGate):
+            def validate(self, retailer_id, *args, **kwargs):
+                decision = GateDecision(retailer_id, False, ["forced"])
+                self.rejections.append(decision)
+                return decision
+
+        service = tiny_service()
+        service.run_day()
+        service.gate = _RejectEverything()
+        service.run_day()
+        failures = service.monitor.failures_for_day(1)
+        assert len(failures) == 2
+        assert all(alert.stage == "publish" for alert in failures)
+
 
 class TestService:
     def test_day_zero_is_full_sweep(self):

@@ -10,6 +10,7 @@ guarantees no half-published or broken table is ever served.
 
 from __future__ import annotations
 
+import json
 import math
 
 import pytest
@@ -31,6 +32,7 @@ from repro.exceptions import (
     SimulatedCrash,
 )
 from repro.models.base import ScoredItem
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.gate import GateDecision, PublishGate
 from repro.serving.store import RecommendationStore
 
@@ -512,6 +514,45 @@ class TestGatedPublishInService:
             report = service.run_day()
             assert report.publishes_rejected == 0
         assert service.gate.rejections == []
+
+
+# ----------------------------------------------------------------------
+# Observability parity: a recovered day seals identical metrics
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def metrics_baseline_seal():
+    """Canonical day-0 seal JSON from an uninterrupted metrics-enabled run."""
+    service = make_service(metrics=MetricsRegistry())
+    service.run_day()
+    return json.dumps(service.journal.day_seal(0), sort_keys=True)
+
+
+class TestMetricsParityUnderRecovery:
+    @pytest.mark.parametrize("stage", KILL_STAGES)
+    def test_recovered_seal_byte_equal(self, stage, metrics_baseline_seal):
+        """Day metrics fold exclusively from journaled task payloads, so a
+        crash at *any* kill stage followed by recover() must seal the exact
+        same fleet/retailer rollups and metric series as a clean run."""
+        crash_plan = CrashPlan().crash_at(stage)
+        service = make_service(crash_plan=crash_plan, metrics=MetricsRegistry())
+        run_with_recovery(service)
+        recovered = json.dumps(service.journal.day_seal(0), sort_keys=True)
+        assert recovered == metrics_baseline_seal
+
+    def test_seal_carries_day_snapshot(self, metrics_baseline_seal):
+        seal = json.loads(metrics_baseline_seal)
+        assert seal["schema_version"] == 1
+        assert seal["day"] == 0
+        assert set(seal["retailers"]) == {"r0", "r1"}
+        assert seal["fleet"]["publishes_accepted"] == 2
+        assert "metrics" in seal and "counters" in seal["metrics"]
+
+    def test_null_metrics_seal_is_empty_but_committed(self):
+        service = make_service()  # NULL_METRICS default
+        service.run_day()
+        seal = service.journal.day_seal(0)
+        assert seal["metrics"]["counters"] == {}
+        assert service.monitor.day_snapshot(0) == seal
 
 
 # ----------------------------------------------------------------------

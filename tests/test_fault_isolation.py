@@ -238,7 +238,7 @@ class TestInferenceCellPairing:
 
         assignments = {}
 
-        def fake_cell_job(cell_name, group, day):
+        def fake_cell_job(cell_name, group, day, **kwargs):
             assignments[cell_name] = frozenset(group)
             return {}, JobStats(job_name=cell_name), 0, {}
 

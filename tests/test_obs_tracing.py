@@ -1,0 +1,228 @@
+"""The simulated-clock tracer: deterministic spans, replayable traces.
+
+The headline contract: two identically-seeded fleets run with tracing
+enabled produce *byte-identical* span trees — traces are artifacts of
+the program's control flow and the simulated clock alone, never of wall
+time.  (Traces of crashed-then-recovered runs legitimately differ —
+recovery skips journaled work — so determinism is asserted across fresh
+reruns only; metric parity under crashes lives in
+``tests/test_crash_recovery.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import build_cluster
+from repro.cluster.clock import SimClock
+from repro.core.grid import GridSpec
+from repro.core.service import SigmundService
+from repro.core.training import TrainerSettings
+from repro.data.datasets import dataset_from_synthetic
+from repro.data.generator import RetailerSpec, generate_retailer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+FAST_SETTINGS = TrainerSettings(
+    max_epochs_full=2, max_epochs_incremental=1, sampler="uniform"
+)
+
+TINY_GRID = GridSpec(
+    n_factors=(4,),
+    learning_rates=(0.05,),
+    reg_items=(0.01,),
+    reg_contexts=(0.01,),
+    use_taxonomy=(False,),
+    use_brand=(False,),
+    use_price=(False,),
+    max_configs=2,
+)
+
+
+def make_traced_service() -> SigmundService:
+    service = SigmundService(
+        build_cluster(n_cells=2, machines_per_cell=4),
+        grid=TINY_GRID,
+        settings=FAST_SETTINGS,
+        metrics=MetricsRegistry(),
+        tracer=Tracer(),
+    )
+    for i in range(2):
+        service.onboard(
+            dataset_from_synthetic(
+                generate_retailer(
+                    RetailerSpec(
+                        retailer_id=f"r{i}",
+                        n_items=40,
+                        n_users=25,
+                        n_events=260,
+                        taxonomy_depth=2,
+                        taxonomy_fanout=3,
+                        seed=100 + i,
+                    )
+                )
+            )
+        )
+    return service
+
+
+# ----------------------------------------------------------------------
+# Span mechanics
+# ----------------------------------------------------------------------
+class TestSpanMechanics:
+    def test_nesting_gives_parentage(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner", kind="x") as inner:
+                clock.advance(2.0)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert (inner.start, inner.end) == (1.0, 3.0)
+        assert (outer.start, outer.end) == (0.0, 3.0)
+        assert outer.duration == 3.0
+        assert inner.attrs == {"kind": "x"}
+
+    def test_span_ids_sequential_in_open_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        ids = {s["name"]: s["span_id"] for s in tracer.to_dict()}
+        assert ids == {"a": 0, "b": 1, "c": 2}
+
+    def test_record_span_parents_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("phase") as phase:
+            recorded = tracer.record_span("task", 5.0, 9.0, cell="cell-0")
+        assert recorded.parent_id == phase.span_id
+        assert (recorded.start, recorded.end) == (5.0, 9.0)
+        assert recorded.attrs == {"cell": "cell-0"}
+        root = tracer.record_span("orphan", 0.0, 1.0)
+        assert root.parent_id is None
+
+    def test_span_set_attaches_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set("count", 3)
+        assert tracer.find("s")[0].attrs == {"count": 3}
+
+    def test_find_children_and_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                tracer.record_span("leaf", 0.0, 1.0)
+        (root,) = tracer.find("root")
+        (child,) = tracer.find("child")
+        assert [s.name for s in tracer.children_of(root.span_id)] == ["child"]
+        assert [s.name for s in tracer.children_of(None)] == ["root"]
+        tree = tracer.span_tree()
+        assert [(depth, s.name) for depth, s in tree] == [
+            (0, "root"), (1, "child"), (2, "leaf"),
+        ]
+
+    def test_to_dict_sorted_by_id_with_sorted_attrs(self):
+        tracer = Tracer()
+        tracer.record_span("z", 0.0, 1.0, b=2, a=1)
+        data = tracer.to_dict()
+        assert list(data[0]["attrs"].keys()) == ["a", "b"]
+        assert json.dumps(data)  # plain data, JSON-serializable
+
+
+# ----------------------------------------------------------------------
+# Null tracer
+# ----------------------------------------------------------------------
+class TestNullTracer:
+    def test_inert_and_reusable(self):
+        tracer = NullTracer()
+        first = tracer.span("a", x=1)
+        second = tracer.span("b")
+        assert first is second  # one shared context, no allocation per span
+        with first as span:
+            span.set("k", "v")
+        assert tracer.spans == []
+        assert tracer.record_span("c", 0.0, 1.0) is None
+        assert tracer.enabled is False
+        assert tracer.clock is None
+
+    def test_shared_singleton(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything"):
+            pass
+        assert NULL_TRACER.spans == []
+
+
+# ----------------------------------------------------------------------
+# Trace determinism over a full service day
+# ----------------------------------------------------------------------
+class TestServiceTraceDeterminism:
+    def test_identical_reruns_produce_byte_identical_traces(self):
+        traces = []
+        for _ in range(2):
+            service = make_traced_service()
+            service.run_day()
+            traces.append(json.dumps(service.tracer.to_dict(), sort_keys=True))
+        assert traces[0] == traces[1]
+
+    def test_day_trace_has_expected_phase_structure(self):
+        service = make_traced_service()
+        service.run_day()
+        tracer = service.tracer
+        (run_day,) = tracer.find("run_day")
+        assert run_day.attrs["day"] == 0
+        assert run_day.attrs["sweep_kind"] == "full"
+        phase_names = [
+            s.name for s in tracer.children_of(run_day.span_id)
+        ]
+        assert phase_names == [
+            "train_phase", "inference_phase", "publish_phase", "wrapup",
+        ]
+        # Per-retailer training spans sit under the train phase...
+        (train_phase,) = tracer.find("train_phase")
+        retailers = {
+            s.attrs["retailer"]
+            for s in tracer.children_of(train_phase.span_id)
+            if s.name == "train_retailer"
+        }
+        assert retailers == {"r0", "r1"}
+        # ...and the runtime emitted per-task spans beneath the day.
+        assert tracer.find("map_task")
+        assert tracer.find("infer_cell")
+        # The simulated clock moved past the phases' makespans.
+        assert tracer.clock.now > 0.0
+        assert run_day.duration == pytest.approx(tracer.clock.now)
+
+    def test_train_retailer_spans_cover_their_makespans(self):
+        service = make_traced_service()
+        service.run_day()
+        tracer = service.tracer
+        seal = service.journal.day_seal(0)
+        for span in tracer.find("train_retailer"):
+            rid = span.attrs["retailer"]
+            makespan = seal["retailers"][rid]["train_makespan_seconds"]
+            assert makespan > 0.0
+            assert span.duration == pytest.approx(makespan)
+
+    def test_disabled_tracer_leaves_clock_untouched(self):
+        service = SigmundService(
+            build_cluster(n_cells=2, machines_per_cell=4),
+            grid=TINY_GRID,
+            settings=FAST_SETTINGS,
+        )
+        service.onboard(
+            dataset_from_synthetic(
+                generate_retailer(
+                    RetailerSpec(
+                        retailer_id="r0", n_items=40, n_users=25,
+                        n_events=260, seed=100,
+                    )
+                )
+            )
+        )
+        service.run_day()
+        assert service.tracer.spans == []
