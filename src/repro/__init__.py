@@ -66,7 +66,14 @@ from repro.obs import (
     build_fleet_snapshot,
     fleet_snapshot_json,
 )
-from repro.serving import RecommendationServer, RecommendationStore
+from repro.serving import (
+    PopularityFallback,
+    RecommendationServer,
+    RecommendationStore,
+    ServingCluster,
+    ServingFrontend,
+    TrafficGenerator,
+)
 
 __version__ = "1.0.0"
 
@@ -104,6 +111,10 @@ __all__ = [
     "TrainedModel",
     "RecommendationStore",
     "RecommendationServer",
+    "ServingCluster",
+    "ServingFrontend",
+    "PopularityFallback",
+    "TrafficGenerator",
     "Cell",
     "Cluster",
     "MachineSpec",

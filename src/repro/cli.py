@@ -10,6 +10,8 @@ Commands:
 * ``inspect`` — summarize a CSV dataset (sizes, coverage, event mix).
 * ``metrics`` — run a synthetic fleet with observability enabled and
   print the fleet snapshot as JSON.
+* ``serve-bench`` — replay power-law traffic through the online serving
+  frontend and print p50/p99 latency, QPS per shard, and cache hit rate.
 """
 
 from __future__ import annotations
@@ -78,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--median-items", type=int, default=80)
     metrics.add_argument("--seed", type=int, default=0)
     metrics.add_argument("--indent", type=int, default=2)
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="replay power-law traffic through the serving frontend",
+    )
+    serve.add_argument("--retailers", type=int, default=4)
+    serve.add_argument("--items", type=int, default=800,
+                       help="largest retailer's catalog size")
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument("--users", type=int, default=100_000)
+    serve.add_argument("--qps", type=float, default=1000.0)
+    serve.add_argument("--nodes", type=int, default=4)
+    serve.add_argument("--shards", type=int, default=16)
+    serve.add_argument("--cache-ttl-ms", type=float, default=60_000.0)
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -198,12 +215,81 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving.cluster import ServingCluster
+    from repro.serving.frontend import PopularityFallback, ServingFrontend
+    from repro.serving.traffic import (
+        TrafficGenerator,
+        synthetic_recommendation_table,
+        unique_users,
+    )
+
+    catalogs = {
+        f"r{i}": max(20, int(args.items / (i + 1)))
+        for i in range(args.retailers)
+    }
+    cluster = ServingCluster(
+        n_nodes=args.nodes, n_shards=args.shards, replication=2,
+        hot_fraction=0.1,
+    )
+    fallback = PopularityFallback()
+    for retailer_id, n_items in catalogs.items():
+        fallback.load_view_counts(
+            retailer_id, {item: float(n_items - item) for item in range(n_items)}
+        )
+        cluster.load_batch(
+            retailer_id,
+            synthetic_recommendation_table(n_items, seed=args.seed),
+            version=1,
+        )
+    frontend = ServingFrontend(
+        cluster, fallback=fallback, cache_ttl_ms=args.cache_ttl_ms
+    )
+    generator = TrafficGenerator(
+        catalogs, n_users=args.users, qps=args.qps, seed=args.seed
+    )
+    requests = generator.generate(args.requests)
+    print(
+        f"{len(catalogs)} retailers, {args.users:,} simulated users, "
+        f"{args.requests} requests at {args.qps:.0f} qps "
+        f"({unique_users(requests)} distinct visitors)"
+    )
+    for phase in ("cold", "warm"):
+        hits_before = frontend.stats.cache_hits
+        latencies = [
+            frontend.request(
+                r.retailer_id, r.context, k=10, now_ms=r.timestamp_ms
+            ).latency_ms
+            for r in requests
+        ]
+        duration_s = max(
+            (requests[-1].timestamp_ms - requests[0].timestamp_ms) / 1000.0,
+            1e-9,
+        )
+        hit_rate = (frontend.stats.cache_hits - hits_before) / len(requests)
+        print(
+            f"{phase:>5}: p50={np.percentile(latencies, 50):.3f}ms "
+            f"p99={np.percentile(latencies, 99):.3f}ms "
+            f"qps/shard={len(requests) / duration_s / args.shards:.1f} "
+            f"cache_hit_rate={hit_rate:.3f}"
+        )
+    stats = frontend.stats
+    print(
+        f"stale_serves={stats.stale_serves} fallbacks={stats.fallbacks} "
+        f"coalesced={stats.coalesced} evictions={stats.cache_evictions}"
+    )
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "service": cmd_service,
     "train": cmd_train,
     "inspect": cmd_inspect,
     "metrics": cmd_metrics,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -50,11 +50,19 @@ class LookupResult:
 
 @dataclass
 class _ShardReplica:
-    """One replica of one shard on one node."""
+    """One replica of one shard on one node.
 
-    version: int = 0
+    Versions are tracked **per retailer**: several retailers hash into
+    the same shard, each with its own batch cadence, so a single replica
+    version would lie for every retailer except whichever loaded last.
+    """
+
+    versions: Dict[str, int] = field(default_factory=dict)
     memory: Dict[Tuple[str, int], List[ScoredItem]] = field(default_factory=dict)
     flash: Dict[Tuple[str, int], List[ScoredItem]] = field(default_factory=dict)
+
+    def version_of(self, retailer_id: str) -> int:
+        return self.versions.get(retailer_id, 0)
 
 
 class ServingNode:
@@ -66,6 +74,8 @@ class ServingNode:
         self.replicas: Dict[int, _ShardReplica] = {}
         self.alive = True
         self.lookups = 0
+        #: Hot entries pushed down to flash because the memory tier was full.
+        self.demotions = 0
 
     def memory_entries(self) -> int:
         return sum(len(replica.memory) for replica in self.replicas.values())
@@ -76,12 +86,44 @@ class ServingNode:
         version: int,
         hot: Mapping[Tuple[str, int], List[ScoredItem]],
         cold: Mapping[Tuple[str, int], List[ScoredItem]],
+        versions: Optional[Mapping[str, int]] = None,
     ) -> None:
-        """Atomically replace this node's replica of one shard."""
+        """Atomically replace this node's replica of one shard.
+
+        ``versions`` maps retailer id -> table version for every retailer
+        present in the replica; when omitted, every retailer appearing in
+        the keys is assumed to be at ``version`` (the single-tenant case).
+        """
+        if versions is None:
+            versions = {key[0]: version for key in (*hot, *cold)}
         replica = _ShardReplica(
-            version=version, memory=dict(hot), flash=dict(cold)
+            versions=dict(versions), memory=dict(hot), flash=dict(cold)
         )
         self.replicas[shard_id] = replica
+        self._enforce_memory_capacity()
+
+    def _enforce_memory_capacity(self) -> None:
+        """Demote the weakest hot entries to flash once memory is full.
+
+        The memory tier is the scarce resource; when installs push it past
+        ``memory_capacity_entries`` the entries with the weakest top
+        recommendation score (the proxy for traffic) spill to flash —
+        they stay servable, just an order of magnitude slower.
+        """
+        overflow = self.memory_entries() - self.memory_capacity_entries
+        if overflow <= 0:
+            return
+        ranked = sorted(
+            (
+                (recs[0].score if recs else float("-inf"), shard_id, key)
+                for shard_id, replica in self.replicas.items()
+                for key, recs in replica.memory.items()
+            ),
+        )
+        for _, shard_id, key in ranked[:overflow]:
+            replica = self.replicas[shard_id]
+            replica.flash[key] = replica.memory.pop(key)
+            self.demotions += 1
 
     def lookup(self, shard_id: int, key: Tuple[str, int]) -> Optional[LookupResult]:
         if not self.alive:
@@ -90,18 +132,19 @@ class ServingNode:
         if replica is None:
             return None
         self.lookups += 1
+        version = replica.version_of(key[0])
         if key in replica.memory:
             return LookupResult(
                 list(replica.memory[key]), MEMORY_LATENCY_MS,
-                self.node_id, "memory", replica.version,
+                self.node_id, "memory", version,
             )
         if key in replica.flash:
             return LookupResult(
                 list(replica.flash[key]), FLASH_LATENCY_MS,
-                self.node_id, "flash", replica.version,
+                self.node_id, "flash", version,
             )
         return LookupResult([], MEMORY_LATENCY_MS, self.node_id, "memory",
-                            replica.version)
+                            version)
 
 
 class ServingCluster:
@@ -180,7 +223,10 @@ class ServingCluster:
                 hot = {k: v for k, v in table.items() if k in hot_keys}
                 cold = {k: v for k, v in table.items() if k not in hot_keys}
                 # Merge with whatever other retailers already live in this
-                # shard replica (batch swap is per retailer).
+                # shard replica (batch swap is per retailer), keeping each
+                # co-tenant's own version — this retailer's load must not
+                # clobber what version their lookups report.
+                versions = {retailer_id: version}
                 existing = node.replicas.get(shard_id)
                 if existing is not None:
                     for key, value in existing.memory.items():
@@ -189,7 +235,10 @@ class ServingCluster:
                     for key, value in existing.flash.items():
                         if key[0] != retailer_id:
                             cold[key] = value
-                node.install(shard_id, version, hot, cold)
+                    for other, other_version in existing.versions.items():
+                        if other != retailer_id:
+                            versions[other] = other_version
+                node.install(shard_id, version, hot, cold, versions=versions)
         self._versions[retailer_id] = version
 
     def _choose_hot(
@@ -197,11 +246,14 @@ class ServingCluster:
         recommendations: Mapping[int, Sequence[ScoredItem]],
         retailer_id: str,
     ) -> set:
+        # Items with no recommendations can never be hot: they carry no
+        # traffic worth sub-millisecond latency and must not occupy the
+        # scarce memory tier ahead of real head items.
         ranked = sorted(
-            recommendations.items(),
-            key=lambda pair: -(pair[1][0].score if pair[1] else float("-inf")),
+            (pair for pair in recommendations.items() if pair[1]),
+            key=lambda pair: (-pair[1][0].score, int(pair[0])),
         )
-        n_hot = int(round(len(ranked) * self.hot_fraction))
+        n_hot = int(round(len(recommendations) * self.hot_fraction))
         return {
             (retailer_id, int(item)) for item, _ in ranked[:n_hot]
         }

@@ -1,0 +1,505 @@
+"""The online serving frontend: the request path in front of the cluster.
+
+The paper's architecture (section II-A) makes serving-time computation
+trivial — precomputed per-item tables behind a low-latency distributed
+store — so the frontend's job is plumbing, not math:
+
+* resolve a user request (retailer, context) into per-item lookups
+  against the sharded :class:`~repro.serving.cluster.ServingCluster`,
+* blend the lookups with recency/strength weights (the exact
+  :func:`~repro.serving.server.blend_context_lookups` semantics the
+  in-process server uses),
+* apply the head/tail hybrid policy at request time: head contexts are
+  fully covered by precomputed tables; thin tail results are topped up
+  from the co-occurrence/popularity fallback,
+* degrade instead of failing — the **fallback chain** is
+  fresh table -> stale table (counted, still served) -> popularity
+  fallback -> empty list.  The request path never raises
+  :class:`~repro.exceptions.ServingError`,
+* cache responses in an **LRU + TTL** cache keyed by
+  ``(retailer_id, context signature)`` and **coalesce** identical
+  in-flight requests so one computation feeds every duplicate,
+* account **simulated latency** per request: the sum of cluster tier
+  latencies (memory/flash plus failover penalties) plus fixed costs for
+  blending, fallback, cache hits, and coalesced waits.
+
+Counters (``frontend_requests_total``, ``frontend_cache_hits_total``,
+``frontend_stale_serves_total``, ``frontend_fallback_total`` labeled by
+stage, ...) flow into a :mod:`repro.obs` metrics registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.sessions import UserContext
+from repro.exceptions import ServingError
+from repro.models.base import ScoredItem
+from repro.obs.metrics import NULL_METRICS
+from repro.rng import hash_string
+from repro.serving.cluster import FAILOVER_PENALTY_MS, ServingCluster
+from repro.serving.server import (
+    DEFAULT_CONTEXT_LOOKUPS,
+    ServedRecommendation,
+    blend_context_lookups,
+)
+
+#: Simulated fixed costs on the request path, in milliseconds.
+CACHE_HIT_LATENCY_MS = 0.05
+COALESCED_LATENCY_MS = 0.05
+BLEND_LATENCY_MS = 0.1
+FALLBACK_LATENCY_MS = 0.5
+
+
+@dataclass(frozen=True)
+class FrontendResponse:
+    """One answered request: recommendations plus how they were served.
+
+    ``served_from`` is one of ``"fresh"``, ``"stale"``, ``"fallback"``,
+    ``"empty"``, or ``"cache"`` — the terminal stage of the fallback
+    chain that produced the payload.
+    """
+
+    retailer_id: str
+    recommendations: Tuple[ServedRecommendation, ...]
+    latency_ms: float
+    served_from: str
+    version: int = 0
+    stale: bool = False
+    cache_hit: bool = False
+    coalesced: bool = False
+    fallback_stage: Optional[str] = None
+    tail_augmented: int = 0
+
+
+@dataclass
+class FrontendStats:
+    """Request-path counters (mirrored into the metrics registry)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    stale_serves: int = 0
+    fallbacks: int = 0
+    empty_responses: int = 0
+    tail_augmented: int = 0
+    cache_evictions: int = 0
+    cache_expirations: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.cache_hits / self.requests
+
+
+class PopularityFallback:
+    """Per-retailer ranked fallback lists (co-occurrence / popularity).
+
+    The last resort of the fallback chain and the tail half of the
+    request-time hybrid policy: a plain ranked list of a retailer's most
+    popular items, built offline from view counts (or any co-occurrence
+    marginal), served when personalized tables are missing or thin.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, List[ScoredItem]] = {}
+
+    def load(self, retailer_id: str, ranked: Sequence[ScoredItem]) -> None:
+        """Install a retailer's ranked fallback list (strongest first)."""
+        self._tables[retailer_id] = sorted(
+            (ScoredItem(int(s.item_index), float(s.score)) for s in ranked),
+            key=lambda s: (-s.score, s.item_index),
+        )
+
+    def load_view_counts(
+        self, retailer_id: str, view_counts: Mapping[int, float]
+    ) -> None:
+        """Build the ranked list from raw item view counts."""
+        self.load(
+            retailer_id,
+            [ScoredItem(int(item), float(count))
+             for item, count in view_counts.items()],
+        )
+
+    def has_retailer(self, retailer_id: str) -> bool:
+        return retailer_id in self._tables
+
+    def recommend(
+        self, retailer_id: str, exclude: Iterable[int], k: int
+    ) -> List[ScoredItem]:
+        """Top-``k`` fallback items, skipping ``exclude`` (empty if unknown)."""
+        table = self._tables.get(retailer_id)
+        if not table:
+            return []
+        blocked = set(exclude)
+        picked: List[ScoredItem] = []
+        for scored in table:
+            if scored.item_index in blocked:
+                continue
+            picked.append(scored)
+            if len(picked) >= k:
+                break
+        return picked
+
+
+@dataclass
+class _CacheEntry:
+    response: FrontendResponse
+    inserted_ms: float
+    version: int
+
+
+class ServingFrontend:
+    """Answers per-user recommendation requests against the cluster.
+
+    Time is simulated: callers pass ``now_ms`` (e.g. the traffic
+    generator's arrival timestamps); without one the frontend advances an
+    internal clock by one millisecond per request.  TTL expiry, latency
+    accounting, and the benchmark's QPS math all run on this clock, so
+    identical request streams produce byte-identical results.
+    """
+
+    def __init__(
+        self,
+        cluster: ServingCluster,
+        fallback: Optional[PopularityFallback] = None,
+        context_lookups: int = DEFAULT_CONTEXT_LOOKUPS,
+        recency_decay: float = 0.7,
+        cache_capacity: int = 10_000,
+        cache_ttl_ms: float = 60_000.0,
+        metrics=NULL_METRICS,
+    ):
+        if cache_capacity < 0:
+            raise ServingError("cache_capacity must be >= 0")
+        if cache_ttl_ms <= 0:
+            raise ServingError("cache_ttl_ms must be > 0")
+        self.cluster = cluster
+        self.fallback = fallback
+        self.context_lookups = context_lookups
+        self.recency_decay = recency_decay
+        self.cache_capacity = cache_capacity
+        self.cache_ttl_ms = cache_ttl_ms
+        self.metrics = metrics
+        self.stats = FrontendStats()
+        self._cache: "OrderedDict[Tuple[str, int], _CacheEntry]" = OrderedDict()
+        self._expected_versions: Dict[str, int] = {}
+        self._now_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Freshness expectations
+    # ------------------------------------------------------------------
+    def expect_version(self, retailer_id: str, version: int) -> None:
+        """Declare the version a retailer *should* be serving.
+
+        The daily loop calls this when it publishes (or fails to publish)
+        day N: a cluster table older than the expectation is served as
+        **stale** — degraded but alive — and counted, never refused.
+        """
+        self._expected_versions[retailer_id] = int(version)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def cache_key(
+        self, retailer_id: str, context: UserContext, k: int
+    ) -> Tuple[str, int]:
+        """``(retailer, context signature)`` — only the lookups that matter.
+
+        The signature hashes the ``context_lookups`` most recent
+        ``(item, event)`` pairs plus ``k``: older context items never
+        influence the answer, so two users with the same recent trail
+        share one cache entry.
+        """
+        recent = list(zip(context.item_indices, context.events))
+        recent = recent[-self.context_lookups:]
+        payload = f"{k}|" + "|".join(
+            f"{item}:{int(event)}" for item, event in recent
+        )
+        return (retailer_id, hash_string(payload))
+
+    def _cache_get(
+        self, key: Tuple[str, int], now_ms: float
+    ) -> Optional[FrontendResponse]:
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        if now_ms - entry.inserted_ms > self.cache_ttl_ms:
+            del self._cache[key]
+            self.stats.cache_expirations += 1
+            self.metrics.counter("frontend_cache_expired_total").inc()
+            return None
+        self._cache.move_to_end(key)
+        return entry.response
+
+    def _cache_put(
+        self, key: Tuple[str, int], response: FrontendResponse, now_ms: float
+    ) -> None:
+        if self.cache_capacity == 0:
+            return
+        self._cache[key] = _CacheEntry(
+            response=response, inserted_ms=now_ms, version=response.version
+        )
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+            self.stats.cache_evictions += 1
+            self.metrics.counter("frontend_cache_evicted_total").inc()
+
+    def invalidate_retailer(self, retailer_id: str) -> int:
+        """Drop a retailer's cached responses (call after a batch load)."""
+        doomed = [key for key in self._cache if key[0] == retailer_id]
+        for key in doomed:
+            del self._cache[key]
+        return len(doomed)
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        retailer_id: str,
+        context: UserContext,
+        k: int = 10,
+        now_ms: Optional[float] = None,
+    ) -> FrontendResponse:
+        """Answer one request; never raises on a degraded retailer."""
+        now = self._advance_clock(now_ms)
+        self.stats.requests += 1
+        self.metrics.counter(
+            "frontend_requests_total", retailer=retailer_id
+        ).inc()
+        key = self.cache_key(retailer_id, context, k)
+        cached = self._cache_get(key, now)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self.metrics.counter(
+                "frontend_cache_hits_total", retailer=retailer_id
+            ).inc()
+            response = replace(
+                cached,
+                latency_ms=CACHE_HIT_LATENCY_MS,
+                served_from="cache",
+                cache_hit=True,
+                coalesced=False,
+            )
+            self._observe_latency(response)
+            return response
+        response = self._compute(retailer_id, context, k)
+        self._cache_put(key, response, now)
+        self._observe_latency(response)
+        return response
+
+    def request_batch(
+        self,
+        requests: Sequence[Tuple[str, UserContext]],
+        k: int = 10,
+        now_ms: Optional[float] = None,
+    ) -> List[FrontendResponse]:
+        """Answer a batch of concurrent requests, coalescing duplicates.
+
+        Requests in one batch are in flight *together*: a duplicate
+        ``(retailer, context signature)`` cannot be saved by the cache
+        (the leader's response is not cached yet when the duplicate
+        arrives), so it attaches to the leader's in-flight computation
+        and pays only a coalesced-wait latency.
+        """
+        now = self._advance_clock(now_ms)
+        leaders: Dict[Tuple[str, int], FrontendResponse] = {}
+        responses: List[Optional[FrontendResponse]] = [None] * len(requests)
+        for position, (retailer_id, context) in enumerate(requests):
+            self.stats.requests += 1
+            self.metrics.counter(
+                "frontend_requests_total", retailer=retailer_id
+            ).inc()
+            key = self.cache_key(retailer_id, context, k)
+            leader = leaders.get(key)
+            if leader is not None:
+                self.stats.coalesced += 1
+                self.metrics.counter(
+                    "frontend_coalesced_total", retailer=retailer_id
+                ).inc()
+                follower = replace(
+                    leader,
+                    latency_ms=leader.latency_ms + COALESCED_LATENCY_MS,
+                    coalesced=True,
+                )
+                responses[position] = follower
+                self._observe_latency(follower)
+                continue
+            cached = self._cache_get(key, now)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self.metrics.counter(
+                    "frontend_cache_hits_total", retailer=retailer_id
+                ).inc()
+                response = replace(
+                    cached,
+                    latency_ms=CACHE_HIT_LATENCY_MS,
+                    served_from="cache",
+                    cache_hit=True,
+                    coalesced=False,
+                )
+            else:
+                response = self._compute(retailer_id, context, k)
+                self._cache_put(key, response, now)
+            leaders[key] = response
+            responses[position] = response
+            self._observe_latency(response)
+        return [r for r in responses if r is not None]
+
+    # ------------------------------------------------------------------
+    # The fallback chain
+    # ------------------------------------------------------------------
+    def _compute(
+        self, retailer_id: str, context: UserContext, k: int
+    ) -> FrontendResponse:
+        version = self.cluster.version_of(retailer_id)
+        if version is None:
+            return self._fallback_response(
+                retailer_id, context, k, stage="unserved", base_latency=0.0
+            )
+        if len(context) == 0:
+            return self._fallback_response(
+                retailer_id, context, k, stage="empty_context",
+                base_latency=0.0, version=version,
+            )
+
+        latency = 0.0
+        degraded = False
+
+        def recs_for(item: int) -> List[ScoredItem]:
+            nonlocal latency, degraded
+            try:
+                result = self.cluster.lookup(retailer_id, item)
+            except ServingError:
+                # Every replica of this item's shard is down; charge the
+                # full failed failover walk and move on with nothing —
+                # the remaining lookups (and the chain) still serve.
+                degraded = True
+                latency += self.cluster.replication * FAILOVER_PENALTY_MS
+                return []
+            latency += result.latency_ms
+            return result.recommendations
+
+        recent = list(zip(context.item_indices, context.events))
+        recent = recent[-self.context_lookups:]
+        recommendations = blend_context_lookups(
+            recent, recs_for, self.recency_decay, set(context.item_indices), k
+        )
+        latency += BLEND_LATENCY_MS
+
+        if not recommendations:
+            stage = "degraded" if degraded else "no_results"
+            return self._fallback_response(
+                retailer_id, context, k, stage=stage,
+                base_latency=latency, version=version,
+            )
+
+        tail_augmented = 0
+        if len(recommendations) < k and self.fallback is not None:
+            # Request-time hybrid head/tail policy: head contexts fill k
+            # from precomputed tables alone; thin tail results are topped
+            # up from popularity so every page is full.
+            exclude = set(context.item_indices)
+            exclude.update(rec.item_index for rec in recommendations)
+            floor = recommendations[-1].score
+            extras = self.fallback.recommend(
+                retailer_id, exclude, k - len(recommendations)
+            )
+            if extras:
+                latency += FALLBACK_LATENCY_MS
+                for position, scored in enumerate(extras):
+                    # Slot below the personalized floor so fallback items
+                    # never outrank a real recommendation.
+                    recommendations.append(
+                        ServedRecommendation(
+                            item_index=scored.item_index,
+                            score=floor - (position + 1) * (abs(floor) * 1e-3 + 1e-9),
+                            source_item=-1,
+                        )
+                    )
+                tail_augmented = len(extras)
+                self.stats.tail_augmented += tail_augmented
+                self.metrics.counter(
+                    "frontend_tail_augmented_total", retailer=retailer_id
+                ).inc(tail_augmented)
+
+        expected = self._expected_versions.get(retailer_id)
+        stale = expected is not None and version < expected
+        if stale:
+            self.stats.stale_serves += 1
+            self.metrics.counter(
+                "frontend_stale_serves_total", retailer=retailer_id
+            ).inc()
+        return FrontendResponse(
+            retailer_id=retailer_id,
+            recommendations=tuple(recommendations),
+            latency_ms=latency,
+            served_from="stale" if stale else "fresh",
+            version=version,
+            stale=stale,
+            tail_augmented=tail_augmented,
+        )
+
+    def _fallback_response(
+        self,
+        retailer_id: str,
+        context: UserContext,
+        k: int,
+        stage: str,
+        base_latency: float,
+        version: int = 0,
+    ) -> FrontendResponse:
+        """Terminal chain stages: popularity fallback, then empty."""
+        self.stats.fallbacks += 1
+        self.metrics.counter("frontend_fallback_total", stage=stage).inc()
+        latency = base_latency + FALLBACK_LATENCY_MS
+        items: List[ScoredItem] = []
+        if self.fallback is not None:
+            items = self.fallback.recommend(
+                retailer_id, set(context.item_indices), k
+            )
+        if not items:
+            self.stats.empty_responses += 1
+            self.metrics.counter("frontend_empty_total", stage=stage).inc()
+            return FrontendResponse(
+                retailer_id=retailer_id,
+                recommendations=(),
+                latency_ms=latency,
+                served_from="empty",
+                version=version,
+                fallback_stage=stage,
+            )
+        return FrontendResponse(
+            retailer_id=retailer_id,
+            recommendations=tuple(
+                ServedRecommendation(s.item_index, s.score, -1) for s in items
+            ),
+            latency_ms=latency,
+            served_from="fallback",
+            version=version,
+            fallback_stage=stage,
+        )
+
+    # ------------------------------------------------------------------
+    # Clock / latency accounting
+    # ------------------------------------------------------------------
+    def _advance_clock(self, now_ms: Optional[float]) -> float:
+        if now_ms is None:
+            self._now_ms += 1.0
+        elif now_ms >= self._now_ms:
+            self._now_ms = float(now_ms)
+        return self._now_ms
+
+    def _observe_latency(self, response: FrontendResponse) -> None:
+        self.metrics.histogram(
+            "frontend_latency_ms",
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0),
+            served=response.served_from,
+        ).observe(response.latency_ms)

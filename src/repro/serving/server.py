@@ -10,10 +10,11 @@ because everything is keyed by item, not user.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.data.events import EventType
 from repro.data.sessions import UserContext
+from repro.models.base import ScoredItem
 from repro.models.bpr import EVENT_CONTEXT_WEIGHT
 from repro.serving.store import RecommendationStore
 
@@ -28,6 +29,43 @@ class ServedRecommendation:
     item_index: int
     score: float
     source_item: int
+
+
+def blend_context_lookups(
+    recent: Sequence[Tuple[int, EventType]],
+    recs_for: Callable[[int], Iterable[ScoredItem]],
+    recency_decay: float,
+    seen: Set[int],
+    k: int,
+) -> List[ServedRecommendation]:
+    """Merge per-item lookups into one ranked list (the serving blend).
+
+    ``recent`` is the context's most recent ``(item, event)`` pairs,
+    oldest first; each contributes the lookup ``recs_for(item)``, its
+    scores weighted by recency decay and the event's context strength.
+    Items in ``seen`` are dropped; on collisions the strongest blended
+    score wins.  Shared by the in-process :class:`RecommendationServer`
+    and the online :class:`~repro.serving.frontend.ServingFrontend`, so
+    both tiers rank identically given the same lookups.
+    """
+    merged: Dict[int, ServedRecommendation] = {}
+    for age, (item, event) in enumerate(reversed(list(recent))):
+        weight = (recency_decay ** age) * float(
+            EVENT_CONTEXT_WEIGHT[EventType(event)]
+        )
+        for scored in recs_for(item):
+            if scored.item_index in seen:
+                continue
+            blended = weight * scored.score
+            existing = merged.get(scored.item_index)
+            if existing is None or blended > existing.score:
+                merged[scored.item_index] = ServedRecommendation(
+                    item_index=scored.item_index,
+                    score=blended,
+                    source_item=item,
+                )
+    ranked = sorted(merged.values(), key=lambda rec: (-rec.score, rec.item_index))
+    return ranked[:k]
 
 
 class RecommendationServer:
@@ -57,34 +95,28 @@ class RecommendationServer:
         """
         if len(context) == 0:
             return []
-        seen = set(context.item_indices)
-        merged: Dict[int, ServedRecommendation] = {}
         recent = list(zip(context.item_indices, context.events))[-self.context_lookups :]
-        for age, (item, event) in enumerate(reversed(recent)):
-            weight = (self.recency_decay ** age) * float(
-                EVENT_CONTEXT_WEIGHT[EventType(event)]
-            )
-            for scored in self.store.lookup(retailer_id, item):
-                if scored.item_index in seen:
-                    continue
-                blended = weight * scored.score
-                existing = merged.get(scored.item_index)
-                if existing is None or blended > existing.score:
-                    merged[scored.item_index] = ServedRecommendation(
-                        item_index=scored.item_index,
-                        score=blended,
-                        source_item=item,
-                    )
-        ranked = sorted(merged.values(), key=lambda rec: (-rec.score, rec.item_index))
-        return ranked[:k]
+        return blend_context_lookups(
+            recent,
+            lambda item: self.store.lookup(retailer_id, item),
+            self.recency_decay,
+            set(context.item_indices),
+            k,
+        )
 
     def recommend_for_item(
         self, retailer_id: str, item_index: int, k: int = 10
     ) -> List[ServedRecommendation]:
-        """Item-page recommendations (single-item context)."""
-        recs = self.store.lookup(retailer_id, item_index)
+        """Item-page recommendations (single-item context).
+
+        Self-recommendations are filtered *before* taking the top ``k``,
+        so an item appearing in its own list never shortens the page.
+        """
+        recs = [
+            r for r in self.store.lookup(retailer_id, item_index)
+            if r.item_index != item_index
+        ]
         return [
             ServedRecommendation(r.item_index, r.score, item_index)
             for r in recs[:k]
-            if r.item_index != item_index
         ]

@@ -1,0 +1,226 @@
+"""Deterministic power-law traffic for the online serving tier.
+
+Real recommendation traffic is brutally skewed: a few head users and
+head items generate most requests, and the long tail is nearly silent.
+The :class:`TrafficGenerator` replays that shape deterministically —
+Zipf-distributed users drawn from a population of millions, Zipf item
+interest within each retailer's catalog, retailer weight falling with
+rank — so that cache hit rates, tier mixes, and latency distributions in
+the E24 benchmark are properties of the *distribution*, not of a lucky
+seed.
+
+Determinism has two layers:
+
+* the request stream (who arrives when, at which retailer) comes from
+  one seeded generator, so a given ``(seed, n)`` always produces the
+  same stream;
+* each user's **context is a pure function of their id** (derived-seed
+  RNG per ``(seed, retailer, user)``), so a returning user carries the
+  same recent trail — which is exactly what makes response caching and
+  request coalescing worth simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.exceptions import SigmundError
+from repro.models.base import ScoredItem
+from repro.rng import derive_seed, make_rng
+
+#: Event mix of simulated browse traffic (views dominate, paper III-A).
+EVENT_MIX: Tuple[Tuple[EventType, float], ...] = (
+    (EventType.VIEW, 0.82),
+    (EventType.SEARCH, 0.10),
+    (EventType.CART, 0.06),
+    (EventType.CONVERSION, 0.02),
+)
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulated frontend request."""
+
+    retailer_id: str
+    user_id: int
+    context: UserContext
+    timestamp_ms: float
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf pmf over ranks ``1..n`` (rank 0 is the head)."""
+    if n < 1:
+        raise SigmundError("zipf_weights needs n >= 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()
+
+
+class TrafficGenerator:
+    """Replays Zipf-shaped request load across retailers.
+
+    ``catalog_sizes`` maps retailer id -> number of items; retailers are
+    weighted by a power law over their size rank (the biggest tenant
+    takes the most traffic, mirroring the fleet's skew).  ``n_users`` is
+    the *population* — millions of distinct ids — while the Zipf exponent
+    concentrates actual arrivals on the head of that population.
+    """
+
+    def __init__(
+        self,
+        catalog_sizes: Mapping[str, int],
+        n_users: int = 1_000_000,
+        user_exponent: float = 1.1,
+        item_exponent: float = 0.9,
+        retailer_exponent: float = 0.8,
+        qps: float = 1_000.0,
+        max_context: int = 4,
+        seed: int = 0,
+    ):
+        if not catalog_sizes:
+            raise SigmundError("traffic needs at least one retailer")
+        if n_users < 1:
+            raise SigmundError("n_users must be >= 1")
+        if qps <= 0:
+            raise SigmundError("qps must be > 0")
+        # Biggest catalog first: retailer rank drives its traffic share.
+        self.retailers = sorted(
+            catalog_sizes, key=lambda rid: (-int(catalog_sizes[rid]), rid)
+        )
+        self.catalog_sizes = {
+            rid: int(catalog_sizes[rid]) for rid in self.retailers
+        }
+        self.n_users = int(n_users)
+        self.user_exponent = float(user_exponent)
+        self.item_exponent = float(item_exponent)
+        self.qps = float(qps)
+        self.max_context = int(max_context)
+        self.seed = int(seed)
+        self._rng = make_rng(derive_seed(self.seed, "traffic"))
+        self._retailer_weights = zipf_weights(
+            len(self.retailers), retailer_exponent
+        )
+        self._clock_ms = 0.0
+        self._context_cache: Dict[Tuple[str, int], UserContext] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sample_user_ranks(self, n: int) -> np.ndarray:
+        """Zipf user ranks folded into the population ``[0, n_users)``.
+
+        ``numpy``'s unbounded Zipf sampler gives the right head shape;
+        folding the rare overshoots back keeps every id in range without
+        materializing a million-entry CDF.
+        """
+        raw = self._rng.zipf(max(self.user_exponent, 1.01), size=n)
+        return (raw - 1) % self.n_users
+
+    def _sample_item(
+        self, rng: np.random.Generator, n_items: int
+    ) -> int:
+        raw = int(rng.zipf(max(1.0 + self.item_exponent, 1.01)))
+        return (raw - 1) % n_items
+
+    def context_for(self, retailer_id: str, user_id: int) -> UserContext:
+        """The user's deterministic recent trail at this retailer.
+
+        Head items (low indices) dominate, so the stream's item skew
+        lines up with the cluster's hot-tier placement when tables score
+        head items highest.
+        """
+        key = (retailer_id, int(user_id))
+        cached = self._context_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = make_rng(derive_seed(self.seed, "context", retailer_id, int(user_id)))
+        n_items = self.catalog_sizes[retailer_id]
+        length = int(rng.integers(1, self.max_context + 1))
+        events, probabilities = zip(*EVENT_MIX)
+        pairs = [
+            (
+                events[int(rng.choice(len(events), p=np.array(probabilities)))],
+                self._sample_item(rng, n_items),
+            )
+            for _ in range(length)
+        ]
+        context = UserContext.from_pairs(pairs)
+        self._context_cache[key] = context
+        return context
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def generate(self, n: int) -> List[SimRequest]:
+        """The next ``n`` requests (arrival clock carries across calls)."""
+        if n < 0:
+            raise SigmundError("cannot generate a negative request count")
+        retailer_picks = self._rng.choice(
+            len(self.retailers), size=n, p=self._retailer_weights
+        )
+        user_ranks = self._sample_user_ranks(n)
+        # Poisson arrivals at the configured rate, on a millisecond clock.
+        gaps_ms = self._rng.exponential(1_000.0 / self.qps, size=n)
+        requests: List[SimRequest] = []
+        for pick, user_rank, gap in zip(retailer_picks, user_ranks, gaps_ms):
+            self._clock_ms += float(gap)
+            retailer_id = self.retailers[int(pick)]
+            user_id = int(user_rank)
+            requests.append(
+                SimRequest(
+                    retailer_id=retailer_id,
+                    user_id=user_id,
+                    context=self.context_for(retailer_id, user_id),
+                    timestamp_ms=self._clock_ms,
+                )
+            )
+        return requests
+
+    def stream(self, n: int, batch_size: int = 256) -> Iterator[List[SimRequest]]:
+        """``generate`` in arrival-order batches (for coalesced replay)."""
+        if batch_size < 1:
+            raise SigmundError("batch_size must be >= 1")
+        remaining = int(n)
+        while remaining > 0:
+            take = min(batch_size, remaining)
+            yield self.generate(take)
+            remaining -= take
+
+
+def unique_users(requests: Sequence[SimRequest]) -> int:
+    """Distinct ``(retailer, user)`` pairs in a request stream."""
+    return len({(r.retailer_id, r.user_id) for r in requests})
+
+
+def synthetic_recommendation_table(
+    n_items: int, n_recs: int = 10, seed: int = 0
+) -> Dict[int, List[ScoredItem]]:
+    """A plausible precomputed table for serving simulations.
+
+    Head items (low indices) get the strongest top scores — matching the
+    generator's item skew — so hot-tier placement, traffic, and scores
+    all tell the same popularity story without training a model.
+    """
+    if n_items < 2:
+        raise SigmundError("synthetic table needs at least 2 items")
+    rng = make_rng(derive_seed(seed, "serve_table", n_items))
+    table: Dict[int, List[ScoredItem]] = {}
+    for item in range(n_items):
+        strength = n_items / (item + 1.0)
+        neighbours = rng.choice(
+            n_items - 1, size=min(n_recs, n_items - 1), replace=False
+        )
+        recs = [
+            ScoredItem(
+                int(other if other < item else other + 1),
+                float(strength / (position + 1.0)),
+            )
+            for position, other in enumerate(neighbours)
+        ]
+        table[item] = recs
+    return table

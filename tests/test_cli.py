@@ -57,6 +57,14 @@ class TestParser:
         assert args.days == 1
         assert args.indent == 2
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.command == "serve-bench"
+        assert args.retailers == 4
+        assert args.requests == 2000
+        assert args.qps == 1000.0
+        assert args.cache_ttl_ms == 60_000.0
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -108,3 +116,13 @@ class TestCommands:
         assert snapshot["fleet"]["publishes_accepted"] == 2
         assert snapshot["metrics"]["counters"]
         assert snapshot["process"]["checkpoints"]["writes"] >= 0
+
+    def test_serve_bench_runs(self, capsys):
+        code = main(["serve-bench", "--retailers", "2", "--items", "120",
+                     "--requests", "300", "--users", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold: p50=" in out
+        assert "warm: p50=" in out
+        assert "cache_hit_rate=" in out
+        assert "stale_serves=" in out

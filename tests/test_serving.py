@@ -125,3 +125,17 @@ class TestServer:
         served = server.recommend_for_item("r1", 0, k=2)
         assert [r.item_index for r in served] == [1, 2]
         assert all(r.source_item == 0 for r in served)
+
+    def test_recommend_for_item_self_rec_does_not_shorten_page(self):
+        """Regression: filtering self-recs *after* the top-k slice used to
+        return k-1 results whenever an item appeared in its own list."""
+        store = RecommendationStore()
+        store.load_batch(
+            "r",
+            {0: recs((0, 9.0), (1, 3.0), (2, 2.0), (3, 1.0))},
+            version=1,
+        )
+        server = RecommendationServer(store)
+        served = server.recommend_for_item("r", 0, k=3)
+        assert [r.item_index for r in served] == [1, 2, 3]
+        assert len(served) == 3

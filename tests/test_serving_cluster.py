@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import ServingError
 from repro.models.base import ScoredItem
 from repro.serving.cluster import (
+    FAILOVER_PENALTY_MS,
     FLASH_LATENCY_MS,
     MEMORY_LATENCY_MS,
     ServingCluster,
@@ -152,6 +153,129 @@ class TestBatchRollout:
             versions_seen.add(result.version)
         # Mixed versions during rollout are expected; unavailability is not.
         assert versions_seen <= {1, 2}
+
+
+class TestHotPlacement:
+    def test_empty_rec_items_land_in_flash(self):
+        """Regression: empty-rec items used to be eligible for the memory
+        tier — whenever the hot budget exceeded the number of items with
+        real recommendations, entries nobody will ever read filled the
+        scarce memory slots."""
+        cluster = ServingCluster(n_nodes=2, n_shards=4, replication=1,
+                                 hot_fraction=0.8)
+        table = {item: [] for item in range(10)}
+        for item in range(10, 15):
+            table[item] = [ScoredItem(0, float(item))]
+        cluster.load_batch("shop", table, version=1)
+        # n_hot = round(15 * 0.8) = 12 > 5 real items; empties must still
+        # all land in flash, never in memory.
+        for item in range(10):
+            assert cluster.lookup("shop", item).tier == "flash", item
+        for item in range(10, 15):
+            assert cluster.lookup("shop", item).tier == "memory", item
+
+    def test_all_empty_table_nothing_hot(self):
+        cluster = ServingCluster(n_nodes=2, n_shards=4, replication=1,
+                                 hot_fraction=1.0)
+        cluster.load_batch("shop", {item: [] for item in range(5)}, version=1)
+        for node in cluster.nodes:
+            assert node.memory_entries() == 0
+
+
+class TestPerRetailerVersions:
+    def test_shared_shard_reports_each_retailers_version(self):
+        """Regression: the last retailer to load clobbered every
+        co-tenant's reported ``LookupResult.version`` on shared shards."""
+        cluster = ServingCluster(n_nodes=2, n_shards=2, replication=2)
+        cluster.load_batch("alpha", batch(30), version=5)
+        cluster.load_batch("beta", batch(30), version=3)
+        for item in range(30):
+            assert cluster.lookup("alpha", item).version == 5
+            assert cluster.lookup("beta", item).version == 3
+
+    def test_reload_bumps_only_own_version(self):
+        cluster = ServingCluster(n_nodes=2, n_shards=2, replication=2)
+        cluster.load_batch("alpha", batch(30), version=1)
+        cluster.load_batch("beta", batch(30), version=1)
+        cluster.load_batch("alpha", batch(30), version=2)
+        assert cluster.lookup("alpha", 0).version == 2
+        assert cluster.lookup("beta", 0).version == 1
+
+
+class TestMemoryCapacity:
+    def test_overflow_hot_entries_demoted_to_flash(self):
+        """``memory_capacity_entries`` is enforced, weakest demoted first."""
+        cluster = ServingCluster(n_nodes=1, n_shards=2, replication=1,
+                                 hot_fraction=1.0,
+                                 memory_capacity_entries=10)
+        cluster.load_batch("shop", batch(40), version=1)
+        node = cluster.nodes[0]
+        assert node.memory_entries() <= 10
+        assert node.demotions >= 30
+        # The strongest items kept their memory slots (item 0 scores
+        # highest in ``batch``), the weakest went to flash.
+        assert cluster.lookup("shop", 0).tier == "memory"
+        assert cluster.lookup("shop", 39).tier == "flash"
+        # Every item is still servable after demotion.
+        for item in range(40):
+            assert cluster.lookup("shop", item).recommendations
+
+    def test_capacity_shared_across_retailers(self):
+        cluster = ServingCluster(n_nodes=1, n_shards=2, replication=1,
+                                 hot_fraction=1.0,
+                                 memory_capacity_entries=15)
+        cluster.load_batch("alpha", batch(20), version=1)
+        cluster.load_batch("beta", batch(20), version=1)
+        assert cluster.nodes[0].memory_entries() <= 15
+
+    def test_under_capacity_no_demotions(self):
+        cluster = ServingCluster(n_nodes=2, n_shards=4, replication=1,
+                                 hot_fraction=0.2,
+                                 memory_capacity_entries=10_000)
+        cluster.load_batch("shop", batch(50), version=1)
+        assert all(node.demotions == 0 for node in cluster.nodes)
+
+
+class TestFailoverLatencyAccounting:
+    def test_penalty_accumulates_per_dead_replica_hop(self):
+        cluster = ServingCluster(n_nodes=3, n_shards=3, replication=3,
+                                 hot_fraction=1.0)
+        cluster.load_batch("shop", batch(30), version=1)
+        shard = cluster.shard_of("shop", 0)
+        first, second, third = cluster.replica_nodes(shard)
+        baseline = cluster.lookup("shop", 0).latency_ms
+
+        cluster.fail_node(first.node_id)
+        one_hop = cluster.lookup("shop", 0)
+        assert one_hop.node_id == second.node_id
+        assert one_hop.latency_ms == pytest.approx(
+            baseline + FAILOVER_PENALTY_MS
+        )
+
+        cluster.fail_node(second.node_id)
+        two_hops = cluster.lookup("shop", 0)
+        assert two_hops.node_id == third.node_id
+        assert two_hops.latency_ms == pytest.approx(
+            baseline + 2 * FAILOVER_PENALTY_MS
+        )
+
+    def test_no_failover_count_on_primary_hit(self):
+        cluster = ServingCluster(n_nodes=4, n_shards=8, replication=2)
+        cluster.load_batch("shop", batch(50), version=1)
+        for item in range(50):
+            cluster.lookup("shop", item)
+        assert cluster.failovers == 0
+
+    def test_failovers_counted_per_hop(self):
+        cluster = ServingCluster(n_nodes=3, n_shards=3, replication=3)
+        cluster.load_batch("shop", batch(30), version=1)
+        shard = cluster.shard_of("shop", 0)
+        first, second, _ = cluster.replica_nodes(shard)
+        cluster.fail_node(first.node_id)
+        cluster.fail_node(second.node_id)
+        before = cluster.failovers
+        cluster.lookup("shop", 0)
+        assert cluster.failovers == before + 2
 
 
 class TestBalance:

@@ -1,0 +1,324 @@
+"""Tests for the online serving frontend (cache, coalescing, fallback chain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.events import EventType
+from repro.data.sessions import UserContext
+from repro.models.base import ScoredItem
+from repro.obs import MetricsRegistry
+from repro.serving.cluster import MEMORY_LATENCY_MS, ServingCluster
+from repro.serving.frontend import (
+    BLEND_LATENCY_MS,
+    CACHE_HIT_LATENCY_MS,
+    COALESCED_LATENCY_MS,
+    FALLBACK_LATENCY_MS,
+    FrontendResponse,
+    PopularityFallback,
+    ServingFrontend,
+)
+
+N_ITEMS = 60
+
+
+def table(n_items: int = N_ITEMS, n_recs: int = 5):
+    """Item -> recs; low item indices have the strongest scores."""
+    return {
+        item: [
+            ScoredItem((item + j + 1) % n_items, float(n_items - item - j))
+            for j in range(n_recs)
+        ]
+        for item in range(n_items)
+    }
+
+
+def make_cluster(**kwargs) -> ServingCluster:
+    defaults = dict(n_nodes=4, n_shards=16, replication=2, hot_fraction=0.2)
+    defaults.update(kwargs)
+    return ServingCluster(**defaults)
+
+
+def make_fallback(retailers=("shop",)) -> PopularityFallback:
+    fallback = PopularityFallback()
+    for rid in retailers:
+        fallback.load_view_counts(rid, {i: float(N_ITEMS - i) for i in range(N_ITEMS)})
+    return fallback
+
+
+def ctx(*items, event=EventType.VIEW) -> UserContext:
+    return UserContext(tuple(items), tuple(event for _ in items))
+
+
+@pytest.fixture()
+def frontend() -> ServingFrontend:
+    cluster = make_cluster()
+    cluster.load_batch("shop", table(), version=1)
+    return ServingFrontend(cluster, fallback=make_fallback())
+
+
+class TestRequestPath:
+    def test_fresh_serve_matches_server_semantics(self, frontend):
+        response = frontend.request("shop", ctx(1, 2), k=10)
+        assert response.served_from == "fresh"
+        assert not response.stale and not response.cache_hit
+        assert response.version == 1
+        items = [r.item_index for r in response.recommendations]
+        assert 1 not in items and 2 not in items  # context excluded
+        assert len(items) == 10
+
+    def test_latency_sums_cluster_tiers_plus_blend(self):
+        cluster = make_cluster(hot_fraction=1.0)  # everything in memory
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, context_lookups=3)
+        response = frontend.request("shop", ctx(1, 2, 3), k=20)
+        assert response.latency_ms == pytest.approx(
+            3 * MEMORY_LATENCY_MS + BLEND_LATENCY_MS
+        )
+
+    def test_failover_penalty_charged_to_request(self):
+        cluster = make_cluster(n_nodes=3, n_shards=3, replication=2,
+                               hot_fraction=1.0)
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, context_lookups=1)
+        baseline = frontend.request("shop", ctx(5), k=5).latency_ms
+        shard = cluster.shard_of("shop", 5)
+        cluster.fail_node(cluster.replica_nodes(shard)[0].node_id)
+        degraded = ServingFrontend(cluster, context_lookups=1)
+        assert degraded.request("shop", ctx(5), k=5).latency_ms > baseline
+
+    def test_k_and_context_respected(self, frontend):
+        assert len(frontend.request("shop", ctx(0), k=3).recommendations) == 3
+
+
+class TestCache:
+    def test_identical_context_hits_cache(self, frontend):
+        first = frontend.request("shop", ctx(1, 2), k=10)
+        second = frontend.request("shop", ctx(1, 2), k=10)
+        assert second.cache_hit and second.served_from == "cache"
+        assert second.latency_ms == pytest.approx(CACHE_HIT_LATENCY_MS)
+        assert second.latency_ms < first.latency_ms
+        assert second.recommendations == first.recommendations
+        assert frontend.stats.cache_hits == 1
+
+    def test_cache_keyed_on_recent_trail_only(self, frontend):
+        # Older context beyond context_lookups does not change the key.
+        long_ctx = ctx(50, 51, 1, 2, 3)
+        short_ctx = ctx(40, 1, 2, 3)
+        frontend.request("shop", long_ctx, k=10)
+        response = frontend.request("shop", short_ctx, k=10)
+        assert response.cache_hit  # same 3 most recent (1, 2, 3)
+
+    def test_different_k_different_entry(self, frontend):
+        frontend.request("shop", ctx(1), k=5)
+        assert not frontend.request("shop", ctx(1), k=6).cache_hit
+
+    def test_ttl_expires_entries(self):
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, cache_ttl_ms=100.0)
+        frontend.request("shop", ctx(1), k=5, now_ms=0.0)
+        assert frontend.request("shop", ctx(1), k=5, now_ms=50.0).cache_hit
+        late = frontend.request("shop", ctx(1), k=5, now_ms=200.0)
+        assert not late.cache_hit
+        assert frontend.stats.cache_expirations == 1
+
+    def test_lru_eviction_bounds_size(self):
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, cache_capacity=10)
+        for item in range(30):
+            frontend.request("shop", ctx(item), k=5)
+        assert frontend.cache_size() <= 10
+        assert frontend.stats.cache_evictions == 20
+
+    def test_invalidate_retailer_drops_entries(self, frontend):
+        frontend.request("shop", ctx(1), k=5)
+        frontend.request("shop", ctx(2), k=5)
+        assert frontend.invalidate_retailer("shop") == 2
+        assert not frontend.request("shop", ctx(1), k=5).cache_hit
+
+    def test_zero_capacity_disables_cache(self):
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, cache_capacity=0)
+        frontend.request("shop", ctx(1), k=5)
+        assert not frontend.request("shop", ctx(1), k=5).cache_hit
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_coalesce(self, frontend):
+        responses = frontend.request_batch(
+            [("shop", ctx(1, 2)), ("shop", ctx(1, 2)), ("shop", ctx(3))], k=10
+        )
+        leader, follower, other = responses
+        assert not leader.coalesced
+        assert follower.coalesced
+        assert not other.coalesced
+        assert follower.recommendations == leader.recommendations
+        assert follower.latency_ms == pytest.approx(
+            leader.latency_ms + COALESCED_LATENCY_MS
+        )
+        assert frontend.stats.coalesced == 1
+
+    def test_coalesced_not_counted_as_cache_hit(self, frontend):
+        frontend.request_batch([("shop", ctx(7)), ("shop", ctx(7))], k=5)
+        assert frontend.stats.cache_hits == 0
+        assert frontend.stats.coalesced == 1
+
+    def test_batch_leader_populates_cache(self, frontend):
+        frontend.request_batch([("shop", ctx(9))], k=5)
+        assert frontend.request("shop", ctx(9), k=5).cache_hit
+
+
+# ----------------------------------------------------------------------
+# The fallback chain, parametrized over freshness x node failures
+# ----------------------------------------------------------------------
+
+FRESHNESS = ("fresh", "stale", "unserved")
+FAILURES = ("none", "one_node", "all_nodes")
+
+
+@pytest.mark.parametrize("freshness", FRESHNESS)
+@pytest.mark.parametrize("failure", FAILURES)
+class TestFallbackChain:
+    def build(self, freshness: str, failure: str) -> ServingFrontend:
+        cluster = make_cluster(n_nodes=3, n_shards=6, replication=2)
+        if freshness != "unserved":
+            cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        if freshness == "stale":
+            frontend.expect_version("shop", 2)
+        elif freshness == "fresh":
+            frontend.expect_version("shop", 1)
+        if failure == "one_node":
+            cluster.fail_node(0)
+        elif failure == "all_nodes":
+            for node in cluster.nodes:
+                cluster.fail_node(node.node_id)
+        return frontend
+
+    def test_never_raises_and_always_answers(self, freshness, failure):
+        frontend = self.build(freshness, failure)
+        response = frontend.request("shop", ctx(1, 2), k=5)
+        assert isinstance(response, FrontendResponse)
+        # Chain invariant: a fallback table exists, so the only empty
+        # answer would be a retailer the fallback has never heard of.
+        assert response.recommendations
+        assert response.served_from in ("fresh", "stale", "fallback")
+
+    def test_chain_stage_is_correct(self, freshness, failure):
+        frontend = self.build(freshness, failure)
+        response = frontend.request("shop", ctx(1, 2), k=5)
+        if freshness == "unserved":
+            assert response.served_from == "fallback"
+            assert response.fallback_stage == "unserved"
+            assert frontend.stats.fallbacks == 1
+        elif failure == "all_nodes":
+            assert response.served_from == "fallback"
+            assert response.fallback_stage == "degraded"
+        elif freshness == "stale":
+            assert response.served_from == "stale"
+            assert response.stale
+            assert frontend.stats.stale_serves == 1
+        else:
+            assert response.served_from == "fresh"
+            assert not response.stale
+
+    def test_empty_context_uses_fallback(self, freshness, failure):
+        frontend = self.build(freshness, failure)
+        response = frontend.request("shop", UserContext.empty(), k=5)
+        assert response.recommendations
+        assert response.served_from == "fallback"
+
+
+class TestFallbackTerminal:
+    def test_unserved_without_fallback_table_returns_empty(self):
+        frontend = ServingFrontend(make_cluster(), fallback=PopularityFallback())
+        response = frontend.request("ghost", ctx(1), k=5)
+        assert response.served_from == "empty"
+        assert response.recommendations == ()
+        assert frontend.stats.empty_responses == 1
+
+    def test_no_fallback_source_at_all(self):
+        frontend = ServingFrontend(make_cluster())
+        response = frontend.request("ghost", ctx(1), k=5)
+        assert response.served_from == "empty"
+
+    def test_fallback_latency_charged(self):
+        frontend = ServingFrontend(make_cluster(), fallback=make_fallback())
+        response = frontend.request("shop", ctx(1), k=5)
+        assert response.served_from == "fallback"
+        assert response.latency_ms == pytest.approx(FALLBACK_LATENCY_MS)
+
+
+class TestHybridTailAugmentation:
+    def test_thin_results_topped_up_from_fallback(self):
+        cluster = make_cluster()
+        # Item 0 recommends only items 1 and 2: a tail context.
+        cluster.load_batch(
+            "shop",
+            {0: [ScoredItem(1, 2.0), ScoredItem(2, 1.0)]},
+            version=1,
+        )
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        response = frontend.request("shop", ctx(0), k=6)
+        assert response.served_from == "fresh"
+        assert response.tail_augmented == 4
+        assert len(response.recommendations) == 6
+        # Personalized recs stay ranked above every fallback item.
+        assert [r.item_index for r in response.recommendations[:2]] == [1, 2]
+        assert all(r.source_item == -1 for r in response.recommendations[2:])
+        scores = [r.score for r in response.recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_head_context_not_augmented(self, frontend):
+        response = frontend.request("shop", ctx(1, 2), k=5)
+        assert response.tail_augmented == 0
+
+
+class TestMetricsWiring:
+    def test_counters_flow_into_registry(self):
+        metrics = MetricsRegistry()
+        cluster = make_cluster(n_nodes=3, n_shards=6, replication=2)
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(
+            cluster, fallback=make_fallback(("shop", "ghost")), metrics=metrics
+        )
+        frontend.expect_version("shop", 2)  # stale
+        frontend.request("shop", ctx(1), k=5)
+        frontend.request("shop", ctx(1), k=5)          # cache hit
+        frontend.request("ghost", ctx(1), k=5)         # unserved -> fallback
+        frontend.request_batch(
+            [("shop", ctx(2)), ("shop", ctx(2))], k=5  # coalesced
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot.counter_total("frontend_requests_total") == 5
+        assert snapshot.counter("frontend_requests_total", retailer="shop") == 4
+        assert snapshot.counter_total("frontend_cache_hits_total") == 1
+        assert snapshot.counter_total("frontend_stale_serves_total") == 2
+        assert snapshot.counter("frontend_fallback_total", stage="unserved") == 1
+        assert snapshot.counter_total("frontend_coalesced_total") == 1
+
+    def test_stats_mirror_registry(self):
+        metrics = MetricsRegistry()
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, metrics=metrics)
+        for item in range(5):
+            frontend.request("shop", ctx(item), k=5)
+            frontend.request("shop", ctx(item), k=5)
+        snapshot = metrics.snapshot()
+        assert frontend.stats.requests == 10
+        assert snapshot.counter_total("frontend_requests_total") == 10
+        assert frontend.stats.cache_hits == 5
+        assert frontend.stats.cache_hit_rate == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_bad_cache_settings_rejected(self):
+        from repro.exceptions import ServingError
+        with pytest.raises(ServingError):
+            ServingFrontend(make_cluster(), cache_capacity=-1)
+        with pytest.raises(ServingError):
+            ServingFrontend(make_cluster(), cache_ttl_ms=0.0)

@@ -1,0 +1,118 @@
+"""Tests for the power-law traffic generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import SigmundError
+from repro.serving.traffic import (
+    SimRequest,
+    TrafficGenerator,
+    unique_users,
+    zipf_weights,
+)
+
+CATALOGS = {"big": 500, "mid": 120, "tiny": 30}
+
+
+def make_generator(**kwargs) -> TrafficGenerator:
+    defaults = dict(catalog_sizes=CATALOGS, n_users=50_000, qps=1_000.0, seed=11)
+    defaults.update(kwargs)
+    return TrafficGenerator(**defaults)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(SigmundError):
+            zipf_weights(0, 1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = make_generator().generate(300)
+        b = make_generator().generate(300)
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = make_generator(seed=1).generate(300)
+        b = make_generator(seed=2).generate(300)
+        assert a != b
+
+    def test_contexts_stable_per_user(self):
+        generator = make_generator()
+        assert generator.context_for("big", 42) == generator.context_for("big", 42)
+        fresh = make_generator()
+        assert fresh.context_for("big", 42) == generator.context_for("big", 42)
+
+    def test_clock_carries_across_generate_calls(self):
+        generator = make_generator()
+        first = generator.generate(50)
+        second = generator.generate(50)
+        assert second[0].timestamp_ms > first[-1].timestamp_ms
+
+
+class TestDistributionShape:
+    def test_requests_are_simrequests_in_range(self):
+        for request in make_generator().generate(200):
+            assert isinstance(request, SimRequest)
+            assert request.retailer_id in CATALOGS
+            assert 0 <= request.user_id < 50_000
+            assert 1 <= len(request.context) <= 4
+            n_items = CATALOGS[request.retailer_id]
+            assert all(0 <= i < n_items for i in request.context.item_indices)
+
+    def test_biggest_retailer_takes_most_traffic(self):
+        counts = Counter(r.retailer_id for r in make_generator().generate(3_000))
+        assert counts["big"] > counts["mid"] > counts["tiny"]
+
+    def test_user_load_is_head_heavy(self):
+        """A Zipf head: the busiest 1% of users take an outsized share."""
+        requests = make_generator().generate(5_000)
+        per_user = Counter(r.user_id for r in requests)
+        ranked = sorted(per_user.values(), reverse=True)
+        head = sum(ranked[: max(1, len(ranked) // 100)])
+        assert head / len(requests) > 0.10
+        assert unique_users(requests) < len(requests)  # repeat visitors exist
+
+    def test_item_interest_is_head_heavy(self):
+        requests = make_generator().generate(5_000)
+        items = Counter(
+            item for r in requests if r.retailer_id == "big"
+            for item in r.context.item_indices
+        )
+        head_share = sum(count for item, count in items.items() if item < 50)
+        assert head_share / sum(items.values()) > 0.4
+
+    def test_arrival_rate_tracks_qps(self):
+        requests = make_generator(qps=2_000.0).generate(4_000)
+        duration_s = requests[-1].timestamp_ms / 1_000.0
+        observed_qps = len(requests) / duration_s
+        assert observed_qps == pytest.approx(2_000.0, rel=0.15)
+
+    def test_timestamps_strictly_increase(self):
+        requests = make_generator().generate(500)
+        stamps = [r.timestamp_ms for r in requests]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+
+class TestStream:
+    def test_stream_batches_cover_n(self):
+        batches = list(make_generator().stream(1_000, batch_size=256))
+        assert [len(b) for b in batches] == [256, 256, 256, 232]
+
+    def test_validation(self):
+        with pytest.raises(SigmundError):
+            TrafficGenerator({})
+        with pytest.raises(SigmundError):
+            make_generator(qps=0.0)
+        with pytest.raises(SigmundError):
+            make_generator().stream(10, batch_size=0).__next__()
+        with pytest.raises(SigmundError):
+            make_generator().generate(-1)
