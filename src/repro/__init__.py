@@ -66,6 +66,17 @@ from repro.obs import (
     build_fleet_snapshot,
     fleet_snapshot_json,
 )
+from repro.retrieval import (
+    ExactRetrieval,
+    IVFConfig,
+    IVFIndex,
+    ModelRetrieval,
+    RetrievalIndexStore,
+    ann_for_model,
+    exact_for_model,
+    recall_at_k,
+    retrieval_for_model,
+)
 from repro.serving import (
     PopularityFallback,
     RecommendationServer,
@@ -109,6 +120,15 @@ __all__ = [
     "InferenceResult",
     "ModelRegistry",
     "TrainedModel",
+    "IVFConfig",
+    "IVFIndex",
+    "ExactRetrieval",
+    "ModelRetrieval",
+    "RetrievalIndexStore",
+    "ann_for_model",
+    "exact_for_model",
+    "recall_at_k",
+    "retrieval_for_model",
     "RecommendationStore",
     "RecommendationServer",
     "ServingCluster",

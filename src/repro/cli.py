@@ -12,6 +12,8 @@ Commands:
   print the fleet snapshot as JSON.
 * ``serve-bench`` — replay power-law traffic through the online serving
   frontend and print p50/p99 latency, QPS per shard, and cache hit rate.
+* ``retrieval-bench`` — build an IVF ANN index over a synthetic catalog
+  and print recall@k and exact-vs-ANN query timings per nprobe.
 """
 
 from __future__ import annotations
@@ -95,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=16)
     serve.add_argument("--cache-ttl-ms", type=float, default=60_000.0)
     serve.add_argument("--seed", type=int, default=0)
+
+    retrieval = commands.add_parser(
+        "retrieval-bench",
+        help="IVF ANN recall and exact-vs-ANN timing on a synthetic catalog",
+    )
+    retrieval.add_argument("--items", type=int, default=50_000)
+    retrieval.add_argument("--factors", type=int, default=16)
+    retrieval.add_argument("--queries", type=int, default=256)
+    retrieval.add_argument(
+        "--nprobes", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32]
+    )
+    retrieval.add_argument("--k", type=int, default=100)
+    retrieval.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -283,6 +298,46 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_retrieval_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.retrieval import (
+        ExactRetrieval,
+        IVFConfig,
+        IVFIndex,
+        recall_at_k,
+        synthetic_embeddings,
+        synthetic_queries,
+    )
+
+    vectors, bias = synthetic_embeddings(
+        args.items, args.factors, seed=args.seed
+    )
+    queries = synthetic_queries(vectors, args.queries, seed=args.seed + 1)
+    exact = ExactRetrieval(vectors, bias)
+    build_start = time.perf_counter()
+    index = IVFIndex.build(vectors, bias, IVFConfig(seed=args.seed))
+    build_seconds = time.perf_counter() - build_start
+    print(
+        f"{args.items:,} items, {args.factors} factors: "
+        f"{index.n_clusters} clusters built in {build_seconds:.2f}s"
+    )
+    start = time.perf_counter()
+    exact.search(queries, args.k)
+    exact_ms = (time.perf_counter() - start) * 1000.0 / args.queries
+    print(f"exact: {exact_ms:.3f} ms/query")
+    for nprobe in args.nprobes:
+        start = time.perf_counter()
+        index.search(queries, args.k, nprobe=nprobe)
+        ann_ms = (time.perf_counter() - start) * 1000.0 / args.queries
+        recall = recall_at_k(index, exact, queries, args.k, nprobe)
+        print(
+            f"nprobe={nprobe:>3}: recall@{args.k}={recall:.4f} "
+            f"{ann_ms:.3f} ms/query ({exact_ms / max(ann_ms, 1e-9):.1f}x)"
+        )
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "service": cmd_service,
@@ -290,6 +345,7 @@ COMMANDS = {
     "inspect": cmd_inspect,
     "metrics": cmd_metrics,
     "serve-bench": cmd_serve_bench,
+    "retrieval-bench": cmd_retrieval_bench,
 }
 
 

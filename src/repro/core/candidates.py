@@ -42,6 +42,10 @@ DEFAULT_PURCHASE_LCA_K = 1
 DEFAULT_MAX_CANDIDATES = 1000
 #: How many co-occurring neighbours seed the expansion.
 DEFAULT_CO_NEIGHBOURS = 20
+#: Per-item candidate count requested from a retrieval index when one is
+#: attached — far below ``max_candidates`` because ANN neighbours are
+#: already ranked by model score rather than taxonomy membership.
+DEFAULT_RETRIEVAL_CANDIDATES = 256
 
 
 def classify_funnel(context: UserContext, taxonomy: Taxonomy) -> str:
@@ -168,6 +172,15 @@ class CandidateSelector:
     #: Where batch-selection counters land; the inference pipeline re-binds
     #: this to the current run's registry (selectors are cached across days).
     metrics: object = field(default=NULL_METRICS, repr=False, compare=False)
+    #: Optional :class:`~repro.retrieval.backend.ModelRetrieval` adapter.
+    #: When attached (large catalogs), the batch selection methods source
+    #: candidates from the ANN index instead of walking the taxonomy —
+    #: the inference pipeline re-binds this per run, like ``metrics``.
+    retrieval: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Neighbours requested per item from the retrieval index.
+    retrieval_k: int = DEFAULT_RETRIEVAL_CANDIDATES
     #: Memo of subtree item sets used by the batch methods, keyed by the
     #: subtree's root category, as sorted int64 arrays.  ``lca_k(item, k)``
     #: for ``k >= 1`` is exactly the subtree of the ancestor ``k - 1``
@@ -373,6 +386,12 @@ class CandidateSelector:
                 )
                 for item in items
             ]
+        if self.retrieval is not None:
+            pools = self._retrieval_candidates(items)
+            return [
+                self._cap_array(item, pool)
+                for item, pool in zip(items, pools)
+            ]
         return [self._view_candidates_array(item, k) for item in items]
 
     def _view_candidates_array(self, item_index: int, k: int) -> np.ndarray:
@@ -438,6 +457,14 @@ class CandidateSelector:
                 np.asarray(self.purchase_based(item, lca_k=k), dtype=np.int64)
                 for item in items
             ]
+        if self.retrieval is not None:
+            pools = self._retrieval_candidates(items)
+            return [
+                self._cap_array(
+                    item, self._strip_substitutes(item, pool)
+                )
+                for item, pool in zip(items, pools)
+            ]
         return [self._purchase_candidates_array(item, k) for item in items]
 
     def _purchase_candidates_array(self, item_index: int, k: int) -> np.ndarray:
@@ -445,7 +472,18 @@ class CandidateSelector:
         if not seeds:
             seeds = self.counts.top_co_viewed(item_index, self.co_neighbours)
         union = self._union_expansions(seeds, k)
-        candidates = union[union != item_index]
+        return self._cap_array(
+            item_index, self._strip_substitutes(item_index, union[union != item_index])
+        )
+
+    def _strip_substitutes(
+        self, item_index: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Remove the query item's own substitutes from a sorted pool.
+
+        Applied on the purchase path unless the item's category is
+        re-purchasable (where substitutes are exactly right).
+        """
         category = (
             self.taxonomy.category_of(item_index)
             if self.taxonomy.has_item(item_index)
@@ -456,17 +494,37 @@ class CandidateSelector:
             and category is not None
             and self.repurchase.is_repurchasable(category)
         )
-        if not repurchasable:
-            substitutes = self._expansion(item_index, self.purchase_lca_k)
-            if substitutes.size and candidates.size:
-                # Both arrays are sorted: a searchsorted membership probe
-                # is several times cheaper than ``np.setdiff1d``.
-                slots = np.minimum(
-                    np.searchsorted(substitutes, candidates),
-                    substitutes.size - 1,
-                )
-                candidates = candidates[substitutes[slots] != candidates]
-        return self._cap_array(item_index, candidates)
+        if repurchasable:
+            return candidates
+        substitutes = self._expansion(item_index, self.purchase_lca_k)
+        if substitutes.size and candidates.size:
+            # Both arrays are sorted: a searchsorted membership probe
+            # is several times cheaper than ``np.setdiff1d``.
+            slots = np.minimum(
+                np.searchsorted(substitutes, candidates),
+                substitutes.size - 1,
+            )
+            candidates = candidates[substitutes[slots] != candidates]
+        return candidates
+
+    def _retrieval_candidates(self, items: Sequence[int]) -> List[np.ndarray]:
+        """Per-item sorted neighbour pools from the attached ANN index.
+
+        One batched index probe covers the whole block; padding ids and
+        the query item itself are dropped per row.
+        """
+        seeds = np.asarray(items, dtype=np.int64)
+        k = min(self.retrieval_k, self.retrieval.n_items)
+        ids, _ = self.retrieval.search_items(seeds, k)
+        pools: List[np.ndarray] = []
+        total = 0
+        for row, item in zip(ids, seeds):
+            pool = row[(row >= 0) & (row != item)]
+            pool = np.sort(pool)
+            total += pool.size
+            pools.append(pool)
+        self.metrics.counter("retrieval_candidate_items_total").inc(total)
+        return pools
 
     # ------------------------------------------------------------------
     # Context-aware selection (funnel stage)

@@ -15,6 +15,8 @@ stage                     label / meaning
 ``train_task``            ``<retailer_id>`` — before its training job launches
 ``train_epoch``           ``<config_key>@e<n>`` — inside Train(), after epoch n
 ``train_logged``          ``<retailer_id>`` — after its completion is journaled
+``retrieval_build``       ``<retailer_id>`` — before its ANN index is built
+``retrieval_logged``      ``<retailer_id>`` — after its index is journaled
 ``inference_plan``        before the cell assignment is journaled
 ``infer_cell``            ``<cell_name>`` — before that cell's job launches
 ``infer_block``           ``<retailer_id>@<first_item>`` — inside the mapper
@@ -44,6 +46,8 @@ KILL_STAGES: Tuple[str, ...] = (
     "train_task",
     "train_epoch",
     "train_logged",
+    "retrieval_build",
+    "retrieval_logged",
     "inference_plan",
     "infer_cell",
     "infer_block",

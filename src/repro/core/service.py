@@ -49,6 +49,10 @@ from repro.mapreduce.runtime import FaultPlan
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.snapshot import build_day_seal
 from repro.obs.tracing import NULL_TRACER
+from repro.retrieval.backend import ModelRetrieval, ann_for_model
+from repro.retrieval.harness import measure_model_recall, resolve_ann_threshold
+from repro.retrieval.ivf import IVFConfig
+from repro.retrieval.store import RetrievalIndexStore
 from repro.serving.gate import PublishGate
 from repro.serving.server import RecommendationServer
 from repro.serving.store import RecommendationStore
@@ -80,6 +84,11 @@ class DailyRunReport:
     #: Tables the publish gate refused (the retailer degrades to its
     #: last-good table instead of serving a broken one).
     publishes_rejected: int = 0
+    #: ANN retrieval indexes built (catalogs over the size threshold).
+    indexes_built: int = 0
+    #: Indexes whose measured recall missed the target and were not
+    #: published (inference falls back to the taxonomy walk).
+    indexes_rejected: int = 0
     #: Retailers whose training, inference, or publish failed today.
     failed_retailers: List[str] = field(default_factory=list)
     failure_reasons: Dict[str, str] = field(default_factory=dict)
@@ -117,6 +126,9 @@ class SigmundService:
         checkpoint_fault_plan: Optional[CheckpointFaultPlan] = None,
         metrics=None,
         tracer=None,
+        retrieval_threshold: Optional[int] = None,
+        retrieval_config: Optional[IVFConfig] = None,
+        retrieval_recall_target: float = 0.95,
     ):
         self.cluster = cluster
         #: Process-level observability (None -> the zero-overhead nulls).
@@ -145,6 +157,18 @@ class SigmundService:
             checkpoint_fault_plan=checkpoint_fault_plan,
             crash_plan=crash_plan,
         )
+        #: Catalog size at which the ANN index replaces the taxonomy
+        #: walk; defaults to the crossover the committed E26 bench
+        #: measured (:func:`~repro.retrieval.harness.resolve_ann_threshold`).
+        self.retrieval_threshold = (
+            resolve_ann_threshold()
+            if retrieval_threshold is None
+            else retrieval_threshold
+        )
+        self.retrieval_config = retrieval_config or IVFConfig()
+        #: An index whose measured recall@k misses this is not published;
+        #: its retailer keeps the exact taxonomy candidate path.
+        self.retrieval_recall_target = retrieval_recall_target
         self.inference = InferencePipeline(
             cluster,
             self.registry,
@@ -154,8 +178,11 @@ class SigmundService:
             seed=seed + 1,
             fault_plan=fault_plan,
             crash_plan=crash_plan,
+            retrieval_threshold=self.retrieval_threshold,
+            retrieval_config=self.retrieval_config,
         )
         self.inference.process_metrics = self.metrics
+        self.retrieval_store = RetrievalIndexStore(metrics=self.metrics)
         self.substitutes_store = RecommendationStore(
             metrics=self.metrics, name="substitutes"
         )
@@ -197,6 +224,7 @@ class SigmundService:
         self.registry.drop_retailer(retailer_id)
         self.substitutes_store.drop_retailer(retailer_id)
         self.accessories_store.drop_retailer(retailer_id)
+        self.retrieval_store.drop_retailer(retailer_id)
         self._repurchase.pop(retailer_id, None)
 
     @property
@@ -279,9 +307,14 @@ class SigmundService:
                 failure_reasons = self._train_phase(
                     day, intent, report, day_metrics
                 )
+            with self.tracer.span("retrieval_phase"):
+                retrieval_indexes = self._retrieval_phase(
+                    day, failure_reasons, report, day_metrics
+                )
             with self.tracer.span("inference_phase"):
                 results, infer_stats = self._inference_phase(
-                    day, failure_reasons, report, day_metrics
+                    day, failure_reasons, report, day_metrics,
+                    retrieval=retrieval_indexes,
                 )
             with self.tracer.span("publish_phase"):
                 served = self._publish_phase(
@@ -399,6 +432,120 @@ class SigmundService:
             "metrics": task_metrics.snapshot(),
         }
 
+    # -- phase 1b: per-retailer ANN index builds -----------------------
+    def _retrieval_phase(
+        self,
+        day: int,
+        failure_reasons: Dict[str, str],
+        report: DailyRunReport,
+        day_metrics=NULL_METRICS,
+    ) -> Dict[str, ModelRetrieval]:
+        """Rebuild each large catalog's ANN index from today's best model.
+
+        Journaled like training: one task per retailer, with the recall
+        measurement folded into the day metrics from the payload so a
+        recovered day is byte-identical.  An index only reaches inference
+        (and later the serving stores) when its measured recall@k clears
+        :attr:`retrieval_recall_target`; rejected indexes leave the
+        retailer on the exact taxonomy candidate path.
+        """
+        accepted: Dict[str, ModelRetrieval] = {}
+        for retailer_id in sorted(self._datasets):
+            if retailer_id in failure_reasons:
+                continue
+            if not self.registry.has_models(retailer_id):
+                continue
+            if self.journal.is_done(day, "retrieval", retailer_id):
+                payload = self.journal.task_payload(day, "retrieval", retailer_id)
+            else:
+                self._check("retrieval_build", retailer_id)
+                payload = self._build_retrieval_index(day, retailer_id)
+                self.journal.log_task(day, "retrieval", retailer_id, payload)
+                self._check("retrieval_logged", retailer_id)
+            snapshot = payload.get("metrics")
+            if snapshot is not None:
+                day_metrics.fold(snapshot)
+            if not payload["built"]:
+                continue
+            report.indexes_built += 1
+            if payload["accepted"]:
+                accepted[retailer_id] = payload["index"]
+            else:
+                report.indexes_rejected += 1
+        return accepted
+
+    def _build_retrieval_index(
+        self, day: int, retailer_id: str
+    ) -> Dict[str, object]:
+        """Build + recall-gate one retailer's index; the journaled unit.
+
+        Below the size threshold no index is built, but the task is still
+        journaled — the decision is part of the day's record, and the
+        kill points above must exist for every retailer regardless of
+        catalog size.
+        """
+        task_metrics = (
+            MetricsRegistry() if self.metrics.enabled else NULL_METRICS
+        )
+        dataset = self._datasets[retailer_id]
+        if dataset.n_items < self.retrieval_threshold:
+            return {
+                "built": False,
+                "accepted": False,
+                "reason": f"catalog below threshold {self.retrieval_threshold}",
+                "index": None,
+                "recall": None,
+                "model_number": None,
+                "metrics": task_metrics.snapshot(),
+            }
+        best = self.registry.best(retailer_id)
+        try:
+            adapter = ann_for_model(
+                best.model,
+                config=self.retrieval_config,
+                metrics=task_metrics,
+            )
+        except SigmundError as exc:
+            task_metrics.counter(
+                "retrieval_indexes_built_total", outcome="failed"
+            ).inc()
+            return {
+                "built": False,
+                "accepted": False,
+                "reason": f"retrieval: {exc}",
+                "index": None,
+                "recall": None,
+                "model_number": best.model_number,
+                "metrics": task_metrics.snapshot(),
+            }
+        adapter.model_number = best.model_number
+        recall = measure_model_recall(
+            best.model,
+            adapter,
+            k=min(100, adapter.n_items),
+            seed=self.retrieval_config.seed + day,
+        )
+        task_metrics.gauge(
+            "retrieval_recall", retailer=retailer_id
+        ).set(recall)
+        ok = recall >= self.retrieval_recall_target
+        task_metrics.counter(
+            "retrieval_indexes_built_total",
+            outcome="accepted" if ok else "rejected",
+        ).inc()
+        return {
+            "built": True,
+            "accepted": ok,
+            "reason": "" if ok else (
+                f"recall {recall:.4f} below target "
+                f"{self.retrieval_recall_target}"
+            ),
+            "index": adapter,
+            "recall": recall,
+            "model_number": best.model_number,
+            "metrics": task_metrics.snapshot(),
+        }
+
     # -- phase 2: per-cell inference -----------------------------------
     def _inference_phase(
         self,
@@ -406,6 +553,7 @@ class SigmundService:
         failure_reasons: Dict[str, str],
         report: DailyRunReport,
         day_metrics=NULL_METRICS,
+        retrieval: Optional[Dict[str, ModelRetrieval]] = None,
     ) -> Tuple[Dict[str, InferenceResult], InferenceStats]:
         stats = InferenceStats()
         # A retailer whose training failed outright is served from
@@ -466,6 +614,7 @@ class SigmundService:
                             day,
                             metrics=cell_metrics,
                             tracer=self.tracer,
+                            retrieval=retrieval or {},
                         )
                     )
                 except SigmundError as exc:
@@ -633,7 +782,46 @@ class SigmundService:
             self.accessories_store.load_batch(
                 retailer_id, result.purchase_recs, version=version
             )
+        self._load_retrieval_index(day, retailer_id, version)
         return True, ""
+
+    def _load_retrieval_index(
+        self, day: int, retailer_id: str, version: int
+    ) -> None:
+        """Publish the day's accepted ANN index with the tables.
+
+        The index rides the table's version: it only loads when the
+        retrieval task journaled an accepted index, and skips (idempotent
+        on recovery) when the store is already at today's version.
+        """
+        if not self.journal.is_done(day, "retrieval", retailer_id):
+            return
+        payload = self.journal.task_payload(day, "retrieval", retailer_id)
+        if not payload["accepted"]:
+            return
+        if (self.retrieval_store.version_of(retailer_id) or -1) >= version:
+            return
+        self.retrieval_store.load(retailer_id, payload["index"], version)
+
+    def rollback_retailer(self, retailer_id: str) -> int:
+        """Roll every serving artifact back to its last-good version.
+
+        Both recommendation tables and, when one was published alongside
+        them, the retrieval index — a rolled-back table served with the
+        newer model's index would recommend from mismatched embeddings.
+        Returns the version now being served.
+        """
+        version = self.substitutes_store.rollback(retailer_id)
+        self.accessories_store.rollback(retailer_id)
+        if self.retrieval_store.has_retailer(retailer_id):
+            try:
+                self.retrieval_store.rollback(retailer_id)
+            except SigmundError:
+                # The index predates today's tables (e.g. the catalog only
+                # crossed the threshold today): drop it rather than serve
+                # an index for a table version that no longer exists.
+                self.retrieval_store.drop_retailer(retailer_id)
+        return version
 
     # -- phase 4: wrap-up (monitoring, detectors, commit) --------------
     def _wrapup_phase(

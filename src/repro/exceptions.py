@@ -51,6 +51,15 @@ class CheckpointCorruptionError(CheckpointError):
     """
 
 
+class RetrievalError(SigmundError):
+    """An ANN retrieval index could not be built or queried.
+
+    Raised when a model has no embedding surface to index, when an index
+    is asked about items it was not built over, or when a retrieval store
+    operation violates version monotonicity.
+    """
+
+
 class ClusterError(SigmundError):
     """The cluster simulator was asked to do something impossible."""
 

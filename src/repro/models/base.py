@@ -30,9 +30,20 @@ class ScoredItem(NamedTuple):
 
 
 def _as_item_array(items: Sequence[int]) -> np.ndarray:
-    """Candidate sequence -> int64 index array (no copy when already one)."""
-    if isinstance(items, np.ndarray) and items.dtype == np.int64:
-        return items
+    """Candidate sequence -> int64 index array (no copy when already one).
+
+    Any integer ndarray is accepted directly (``int32`` from an index
+    structure must not fall through to the element-wise ``list()`` path),
+    while float ndarrays raise instead of being silently truncated —
+    ``np.asarray([2.7], dtype=np.int64)`` would quietly score item 2.
+    """
+    if isinstance(items, np.ndarray):
+        if not np.issubdtype(items.dtype, np.integer):
+            raise TypeError(
+                f"item indices must be an integer array, got dtype "
+                f"{items.dtype}"
+            )
+        return items.astype(np.int64, copy=False)
     return np.asarray(list(items), dtype=np.int64)
 
 
@@ -51,18 +62,54 @@ def _exclude_items(pool: np.ndarray, context: UserContext) -> np.ndarray:
     return pool[~np.isin(pool, seen)]
 
 
+def top_k_select(
+    scores: np.ndarray, k: int, tiebreak: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Positions of the ``k`` best scores, ordered ``(score desc, tiebreak asc)``.
+
+    The total order is fully deterministic: equal scores break by the
+    ``tiebreak`` key (the position itself when omitted) and NaN scores
+    rank strictly worst, themselves ordered by tiebreak.  Every ranking
+    path — per-item, batched, exact retrieval, ANN retrieval — selects
+    through this one function, so two paths fed the same scores can never
+    reorder tied items against each other (argpartition's behavior under
+    ties is unspecified and has changed across numpy versions).
+    """
+    n = scores.size
+    k = min(k, n)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    tb = np.arange(n, dtype=np.int64) if tiebreak is None else tiebreak
+    if k == n:
+        sel = np.arange(n, dtype=np.int64)
+    else:
+        # k-th largest score: partition sorts NaN last, so the pivot is
+        # NaN only when fewer than k scores are finite numbers at all.
+        kth = -np.partition(-scores, k - 1)[k - 1]
+        if np.isnan(kth):
+            better = np.flatnonzero(~np.isnan(scores))
+            ties = np.flatnonzero(np.isnan(scores))
+        else:
+            better = np.flatnonzero(scores > kth)
+            ties = np.flatnonzero(scores == kth)
+        ties = ties[np.argsort(tb[ties], kind="stable")]
+        sel = np.concatenate([better, ties[: k - better.size]])
+    # Stable lexsort: primary score descending, secondary tiebreak
+    # ascending; NaN keys sink to the end preserving tiebreak order.
+    return sel[np.lexsort((tb[sel], -scores[sel]))]
+
+
 def _top_k(pool: np.ndarray, scores: np.ndarray, k: int) -> List[ScoredItem]:
     """Top-``k`` of a scored pool, shared by the per-item and batched paths.
 
-    Both paths feed this the same (pool, scores) arrays, so selection —
-    including argpartition's behavior under ties and NaN scores — is
-    identical by construction.
+    Both paths feed this the same (pool, scores) arrays and ties break by
+    item index (not pool position), so selection is identical by
+    construction — including against the retrieval backends, which rank
+    through the same :func:`top_k_select` order.
     """
     if pool.size == 0 or k <= 0:
         return []
-    k = min(k, pool.size)
-    top = np.argpartition(-scores, k - 1)[:k]
-    top = top[np.argsort(-scores[top], kind="stable")]
+    top = top_k_select(scores, k, tiebreak=pool)
     # .tolist() converts to native int/float in one C pass — much cheaper
     # than casting numpy scalars one by one.
     return list(map(ScoredItem, pool[top].tolist(), scores[top].tolist()))
@@ -164,17 +211,42 @@ class Recommender(abc.ABC):
             )
         if not contexts:
             return []
-        matrix = self.score_contexts(contexts)
+        pools = [
+            None if candidates is None else _as_item_array(candidates)
+            for candidates in candidate_lists
+        ]
+        # When every context has a candidate list, score only the union of
+        # candidate columns: the GEMM shrinks from (B, n_items) to
+        # (B, |union|) — the difference between a full-catalog multiply
+        # and a capped-candidate one on million-item catalogs.  Scores are
+        # identical columns of the full matrix, so results don't change.
+        cols: Optional[np.ndarray] = None
+        if all(pool is not None for pool in pools):
+            chunks = [pool for pool in pools if pool.size]
+            union = (
+                np.unique(np.concatenate(chunks))
+                if chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            if union.size < self.n_items:
+                cols = union
+        matrix = (
+            self.score_contexts(contexts)
+            if cols is None
+            else self.score_contexts(contexts, cols)
+        )
         full_pool = np.arange(self.n_items)
         results: List[List[ScoredItem]] = []
-        for row, (context, candidates) in enumerate(zip(contexts, candidate_lists)):
-            pool = full_pool if candidates is None else _as_item_array(candidates)
+        for row, (context, pool) in enumerate(zip(contexts, pools)):
+            if pool is None:
+                pool = full_pool
             if exclude_context_items:
                 pool = _exclude_items(pool, context)
             if pool.size == 0:
                 results.append([])
                 continue
-            results.append(_top_k(pool, matrix[row, pool], k))
+            columns = pool if cols is None else np.searchsorted(cols, pool)
+            results.append(_top_k(pool, matrix[row, columns], k))
         return results
 
     def rank_of(

@@ -36,7 +36,7 @@ from repro.data.events import EventType
 from repro.data.sessions import UserContext
 from repro.data.taxonomy import ROOT_CATEGORY, Taxonomy
 from repro.exceptions import ConfigError
-from repro.models.base import Recommender
+from repro.models.base import Recommender, _as_item_array
 from repro.models.optim import Optimizer, make_optimizer
 from repro.rng import make_rng
 
@@ -337,10 +337,9 @@ class BPRModel(Recommender):
     def score_items(
         self, context: UserContext, item_indices: Sequence[int]
     ) -> np.ndarray:
-        if isinstance(item_indices, np.ndarray) and item_indices.dtype == np.int64:
-            items = item_indices
-        else:
-            items = np.asarray(list(item_indices), dtype=np.int64)
+        # Any integer ndarray takes the fast path; float ndarrays raise
+        # instead of being silently truncated to wrong item indices.
+        items = _as_item_array(item_indices)
         if items.size == 0:
             return np.zeros(0, dtype=np.float64)
         user = self.user_embedding(context)

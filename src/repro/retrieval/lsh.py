@@ -1,0 +1,58 @@
+"""Signed-random-projection LSH signatures (optional IVF prefilter).
+
+A classic bit-signature scheme: project vectors onto ``n_bits`` seeded
+random hyperplanes, keep the sign pattern packed into bytes.  Hamming
+distance between signatures approximates angular distance, so a cheap
+popcount can discard candidates that cannot plausibly be near the query
+before the exact inner-product scoring pass.
+
+Pure numpy; popcount runs through a 256-entry lookup table because
+``np.bitwise_count`` only exists on recent numpy versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import make_rng
+
+#: popcount(i) for every byte value, for vectorized hamming distance.
+_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+class LSHPrefilter:
+    """Packed sign signatures for a fixed set of vectors."""
+
+    def __init__(self, hyperplanes: np.ndarray, signatures: np.ndarray):
+        #: ``(n_bits, dim)`` projection directions.
+        self.hyperplanes = hyperplanes
+        #: ``(n_vectors, ceil(n_bits / 8))`` packed sign patterns.
+        self.signatures = signatures
+        self.n_bits = hyperplanes.shape[0]
+
+    @classmethod
+    def build(
+        cls, vectors: np.ndarray, n_bits: int, seed: int = 0
+    ) -> "LSHPrefilter":
+        """Signatures for ``vectors`` under seeded random hyperplanes."""
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        rng = make_rng(seed)
+        hyperplanes = rng.normal(size=(n_bits, vectors.shape[1]))
+        prefilter = cls(hyperplanes, np.empty((0, 0), dtype=np.uint8))
+        prefilter.signatures = prefilter.signature_of(vectors)
+        return prefilter
+
+    def signature_of(self, vectors: np.ndarray) -> np.ndarray:
+        """Packed sign signature per row of ``vectors``."""
+        bits = (vectors @ self.hyperplanes.T) >= 0.0
+        return np.packbits(bits, axis=1)
+
+    def hamming(
+        self, query_signatures: np.ndarray, item_signatures: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise hamming distance between two aligned signature arrays."""
+        xored = np.bitwise_xor(query_signatures, item_signatures)
+        return _POPCOUNT[xored].sum(axis=1).astype(np.int64)

@@ -24,7 +24,7 @@ so tests and benches can assert on them exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ServingError
 from repro.models.base import ScoredItem
@@ -173,6 +173,14 @@ class ServingCluster:
         self.hot_fraction = hot_fraction
         self._versions: Dict[str, int] = {}
         self.failovers = 0
+        #: Called with the retailer id after every completed batch load,
+        #: so caches layered above the cluster (the frontend's response
+        #: cache) can drop entries computed against the old version.
+        self._invalidation_listeners: List[Callable[[str], None]] = []
+
+    def subscribe_invalidation(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired after each retailer's batch load."""
+        self._invalidation_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Placement
@@ -240,6 +248,8 @@ class ServingCluster:
                             versions[other] = other_version
                 node.install(shard_id, version, hot, cold, versions=versions)
         self._versions[retailer_id] = version
+        for listener in self._invalidation_listeners:
+            listener(retailer_id)
 
     def _choose_hot(
         self,

@@ -34,6 +34,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.data.sessions import UserContext
 from repro.exceptions import ServingError
 from repro.models.base import ScoredItem
@@ -51,6 +53,9 @@ CACHE_HIT_LATENCY_MS = 0.05
 COALESCED_LATENCY_MS = 0.05
 BLEND_LATENCY_MS = 0.1
 FALLBACK_LATENCY_MS = 0.5
+#: One ANN index probe (in-memory inverted lists; cheaper than the
+#: popularity scan but pricier than a cache hit).
+RETRIEVAL_LATENCY_MS = 0.3
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,11 @@ class FrontendStats:
     tail_augmented: int = 0
     cache_evictions: int = 0
     cache_expirations: int = 0
+    #: Cached responses dropped because their table version was replaced
+    #: (publish/rollback) before the TTL ran out.
+    cache_invalidations: int = 0
+    #: Tail slots filled from the retrieval index (before popularity).
+    retrieval_topups: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -187,6 +197,15 @@ class ServingFrontend:
         self._cache: "OrderedDict[Tuple[str, int], _CacheEntry]" = OrderedDict()
         self._expected_versions: Dict[str, int] = {}
         self._now_ms = 0.0
+        #: Published ANN adapters for request-time tail top-up, keyed by
+        #: retailer (see :meth:`load_retrieval_index`).
+        self._retrieval: Dict[str, object] = {}
+        # A batch load changes what every cached response for that
+        # retailer should contain; subscribe so the cluster tells us
+        # instead of serving stale entries until their TTL runs out.
+        subscribe = getattr(cluster, "subscribe_invalidation", None)
+        if subscribe is not None:
+            subscribe(self.invalidate_retailer)
 
     # ------------------------------------------------------------------
     # Freshness expectations
@@ -226,6 +245,16 @@ class ServingFrontend:
         entry = self._cache.get(key)
         if entry is None:
             return None
+        current = self.cluster.version_of(key[0])
+        if current is not None and entry.version != current:
+            # The table moved under this entry (publish or rollback);
+            # serving it would pin users to a version that no longer
+            # exists.  Belt-and-suspenders with the load-time listener:
+            # this also catches loads that bypassed the subscription.
+            del self._cache[key]
+            self.stats.cache_invalidations += 1
+            self.metrics.counter("frontend_cache_invalidated_total").inc()
+            return None
         if now_ms - entry.inserted_ms > self.cache_ttl_ms:
             del self._cache[key]
             self.stats.cache_expirations += 1
@@ -253,7 +282,30 @@ class ServingFrontend:
         doomed = [key for key in self._cache if key[0] == retailer_id]
         for key in doomed:
             del self._cache[key]
+        if doomed:
+            self.stats.cache_invalidations += len(doomed)
+            self.metrics.counter("frontend_cache_invalidated_total").inc(
+                len(doomed)
+            )
         return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Retrieval top-up
+    # ------------------------------------------------------------------
+    def load_retrieval_index(self, retailer_id: str, adapter) -> None:
+        """Install a retailer's published ANN index for tail top-up.
+
+        Thin tail responses are topped up from the index (personalized
+        neighbours of the query item) before falling back to popularity.
+        Cached responses are dropped: their tails were computed without
+        the index.
+        """
+        self._retrieval[retailer_id] = adapter
+        self.invalidate_retailer(retailer_id)
+
+    def drop_retrieval_index(self, retailer_id: str) -> None:
+        self._retrieval.pop(retailer_id, None)
+        self.invalidate_retailer(retailer_id)
 
     def cache_size(self) -> int:
         return len(self._cache)
@@ -402,20 +454,36 @@ class ServingFrontend:
             )
 
         tail_augmented = 0
-        if len(recommendations) < k and self.fallback is not None:
+        need = k - len(recommendations)
+        index = self._retrieval.get(retailer_id)
+        if need > 0 and (self.fallback is not None or index is not None):
             # Request-time hybrid head/tail policy: head contexts fill k
             # from precomputed tables alone; thin tail results are topped
-            # up from popularity so every page is full.
+            # up so every page is full — personalized neighbours from the
+            # retrieval index first, popularity for whatever remains.
             exclude = set(context.item_indices)
             exclude.update(rec.item_index for rec in recommendations)
             floor = recommendations[-1].score
-            extras = self.fallback.recommend(
-                retailer_id, exclude, k - len(recommendations)
-            )
+            extras: List[ScoredItem] = []
+            if index is not None:
+                extras = self._retrieval_extras(context, exclude, need, index)
+                if extras:
+                    latency += RETRIEVAL_LATENCY_MS
+                    exclude.update(s.item_index for s in extras)
+                    self.stats.retrieval_topups += len(extras)
+                    self.metrics.counter(
+                        "frontend_retrieval_topup_total", retailer=retailer_id
+                    ).inc(len(extras))
+            if len(extras) < need and self.fallback is not None:
+                popular = self.fallback.recommend(
+                    retailer_id, exclude, need - len(extras)
+                )
+                if popular:
+                    latency += FALLBACK_LATENCY_MS
+                    extras.extend(popular)
             if extras:
-                latency += FALLBACK_LATENCY_MS
                 for position, scored in enumerate(extras):
-                    # Slot below the personalized floor so fallback items
+                    # Slot below the personalized floor so topped-up items
                     # never outrank a real recommendation.
                     recommendations.append(
                         ServedRecommendation(
@@ -446,6 +514,34 @@ class ServingFrontend:
             stale=stale,
             tail_augmented=tail_augmented,
         )
+
+    def _retrieval_extras(
+        self,
+        context: UserContext,
+        exclude: set,
+        need: int,
+        index,
+    ) -> List[ScoredItem]:
+        """Neighbours of the most recent context item, minus exclusions.
+
+        Over-fetches by the exclusion size so filtering still leaves
+        ``need`` items; any index trouble (item outside the indexed
+        catalog) degrades to an empty list — the chain continues.
+        """
+        query = context.most_recent_item
+        if query is None or query >= index.n_items or query < 0:
+            return []
+        ids, scores = index.search_items(
+            np.array([query], dtype=np.int64), need + len(exclude) + 1
+        )
+        extras: List[ScoredItem] = []
+        for item, score in zip(ids[0].tolist(), scores[0].tolist()):
+            if item < 0 or item in exclude:
+                continue
+            extras.append(ScoredItem(int(item), float(score)))
+            if len(extras) >= need:
+                break
+        return extras
 
     def _fallback_response(
         self,

@@ -180,7 +180,8 @@ class TestServiceTraceDeterminism:
             s.name for s in tracer.children_of(run_day.span_id)
         ]
         assert phase_names == [
-            "train_phase", "inference_phase", "publish_phase", "wrapup",
+            "train_phase", "retrieval_phase", "inference_phase",
+            "publish_phase", "wrapup",
         ]
         # Per-retailer training spans sit under the train phase...
         (train_phase,) = tracer.find("train_phase")

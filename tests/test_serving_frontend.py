@@ -322,3 +322,112 @@ class TestValidation:
             ServingFrontend(make_cluster(), cache_capacity=-1)
         with pytest.raises(ServingError):
             ServingFrontend(make_cluster(), cache_ttl_ms=0.0)
+
+
+class TestCacheInvalidationOnPublish:
+    """Regression: the response cache survived publishes and rollbacks.
+
+    A cached entry pinned the version it was computed from, but nothing
+    compared that pin against the cluster's current version — so after a
+    ``load_batch`` (daily publish) or a rollback, requests kept serving
+    recommendations from the *retired* table until the TTL happened to
+    expire.  Both paths must observe the new version immediately.
+    """
+
+    def shifted_table(self):
+        return {
+            item: [
+                ScoredItem((item + j + 7) % N_ITEMS, float(N_ITEMS - j))
+                for j in range(5)
+            ]
+            for item in range(N_ITEMS)
+        }
+
+    def test_publish_invalidates_cached_entries(self):
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        first = frontend.request("shop", ctx(3), k=5)
+        assert frontend.request("shop", ctx(3), k=5).cache_hit
+
+        cluster.load_batch("shop", self.shifted_table(), version=2)
+        after = frontend.request("shop", ctx(3), k=5)
+        assert not after.cache_hit
+        assert after.version == 2
+        assert [r.item_index for r in after.recommendations] != [
+            r.item_index for r in first.recommendations
+        ]
+        assert frontend.stats.cache_invalidations > 0
+
+    def test_version_pin_caught_even_without_subscription(self):
+        """The belt (per-read version check) works on clusters that do
+        not offer the invalidation-listener suspenders."""
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        frontend.request("shop", ctx(3), k=5)
+        # Simulate a listener-less publish: bump the stored entries
+        # behind the frontend's back.
+        cluster._versions["shop"] = 2
+        response = frontend.request("shop", ctx(3), k=5)
+        assert not response.cache_hit
+        assert frontend.stats.cache_invalidations > 0
+
+    def test_unrelated_retailer_cache_survives_publish(self):
+        cluster = make_cluster()
+        cluster.load_batch("shop", table(), version=1)
+        cluster.load_batch("other", table(), version=1)
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        frontend.request("other", ctx(3), k=5)
+        cluster.load_batch("shop", self.shifted_table(), version=2)
+        assert frontend.request("other", ctx(3), k=5).cache_hit
+
+
+class TestRetrievalTopup:
+    def make_index(self):
+        import numpy as np
+
+        from repro.retrieval import ExactRetrieval, ModelRetrieval
+        from repro.retrieval.harness import synthetic_embeddings
+
+        vectors, bias = synthetic_embeddings(N_ITEMS, 8, seed=5)
+        return ModelRetrieval(ExactRetrieval(vectors, bias), vectors)
+
+    def test_thin_results_topped_up_from_index_before_popularity(self):
+        from repro.serving.frontend import RETRIEVAL_LATENCY_MS
+
+        cluster = make_cluster()
+        cluster.load_batch(
+            "shop",
+            {0: [ScoredItem(1, 2.0), ScoredItem(2, 1.0)]},
+            version=1,
+        )
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        frontend.load_retrieval_index("shop", self.make_index())
+        response = frontend.request("shop", ctx(0), k=6)
+        assert len(response.recommendations) == 6
+        assert frontend.stats.retrieval_topups == 4  # slots filled
+        # Personalized results keep their rank above every extra.
+        assert [r.item_index for r in response.recommendations[:2]] == [1, 2]
+        items = [r.item_index for r in response.recommendations]
+        assert len(set(items)) == 6 and 0 not in items
+        baseline = frontend.request("shop", ctx(1), k=2)  # no top-up
+        assert response.latency_ms >= baseline.latency_ms + RETRIEVAL_LATENCY_MS
+
+    def test_no_index_is_byte_identical_to_fallback_only(self):
+        cluster = make_cluster()
+        cluster.load_batch(
+            "shop",
+            {0: [ScoredItem(1, 2.0), ScoredItem(2, 1.0)]},
+            version=1,
+        )
+        plain = ServingFrontend(cluster, fallback=make_fallback())
+        wired = ServingFrontend(cluster, fallback=make_fallback())
+        wired.load_retrieval_index("shop", self.make_index())
+        wired.drop_retrieval_index("shop")
+        a = plain.request("shop", ctx(0), k=6)
+        b = wired.request("shop", ctx(0), k=6)
+        assert [
+            (r.item_index, r.score) for r in a.recommendations
+        ] == [(r.item_index, r.score) for r in b.recommendations]
+        assert a.latency_ms == b.latency_ms
