@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--days", type=int, default=3)
     service.add_argument("--median-items", type=int, default=80)
     service.add_argument("--seed", type=int, default=0)
+    service.add_argument(
+        "--workers", type=int, default=0,
+        help="fleet worker processes for Train() map tasks; 0 or 1 runs "
+             "the serial reference path (outputs are identical either way)",
+    )
 
     train = commands.add_parser("train", help="train on CSV data")
     train.add_argument("catalog", help="catalog CSV path")
@@ -68,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--retailer-id", default="csv_retailer")
     train.add_argument("--factors", type=int, default=16)
     train.add_argument("--epochs", type=int, default=8)
+    train.add_argument(
+        "--workers", type=int, default=1,
+        help="Hogwild worker processes updating the model lock-free in "
+             "shared memory; 1 runs the serial trainer",
+    )
 
     inspect = commands.add_parser("inspect", help="summarize CSV data")
     inspect.add_argument("catalog", help="catalog CSV path")
@@ -149,33 +159,34 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_service(args: argparse.Namespace) -> int:
-    service = SigmundService(
+    with SigmundService(
         build_cluster(n_cells=2, machines_per_cell=6),
         grid=GridSpec.small(),
         settings=TrainerSettings(
             max_epochs_full=3, max_epochs_incremental=2, sampler="uniform"
         ),
-    )
-    fleet = generate_marketplace(
-        MarketplaceSpec(
-            n_retailers=args.retailers,
-            median_items=args.median_items,
-            seed=args.seed,
+        n_workers=args.workers,
+    ) as service:
+        fleet = generate_marketplace(
+            MarketplaceSpec(
+                n_retailers=args.retailers,
+                median_items=args.median_items,
+                seed=args.seed,
+            )
         )
-    )
-    for retailer in fleet:
-        service.onboard(dataset_from_synthetic(retailer))
-        print(f"onboarded {retailer.retailer_id} ({retailer.n_items} items)")
-    for _ in range(args.days):
-        report = service.run_day()
-        print(
-            f"day {report.day}: sweep={report.sweep_kind} "
-            f"models={report.configs_trained} served={report.retailers_served} "
-            f"cost={report.total_cost:.4f}"
-        )
-    print(f"total cost: {service.total_cost():.4f}")
-    for retailer_id, cost in sorted(service.retailer_costs().items()):
-        print(f"  chargeback {retailer_id}: {cost:.4f}")
+        for retailer in fleet:
+            service.onboard(dataset_from_synthetic(retailer))
+            print(f"onboarded {retailer.retailer_id} ({retailer.n_items} items)")
+        for _ in range(args.days):
+            report = service.run_day()
+            print(
+                f"day {report.day}: sweep={report.sweep_kind} "
+                f"models={report.configs_trained} served={report.retailers_served} "
+                f"cost={report.total_cost:.4f}"
+            )
+        print(f"total cost: {service.total_cost():.4f}")
+        for retailer_id, cost in sorted(service.retailer_costs().items()):
+            print(f"  chargeback {retailer_id}: {cost:.4f}")
     return 0
 
 
@@ -188,7 +199,14 @@ def cmd_train(args: argparse.Namespace) -> int:
         dataset.catalog, dataset.taxonomy,
         BPRHyperParams(n_factors=args.factors, learning_rate=0.08),
     )
-    report = BPRTrainer(model, dataset, max_epochs=args.epochs).train()
+    if args.workers > 1:
+        from repro.fleet.hogwild import SharedMemoryHogwild
+
+        report = SharedMemoryHogwild(
+            model, dataset, n_processes=args.workers, max_epochs=args.epochs
+        ).train()
+    else:
+        report = BPRTrainer(model, dataset, max_epochs=args.epochs).train()
     result = HoldoutEvaluator(dataset).evaluate(model)
     print(f"epochs={report.epochs_run} map@10={result.map_at_10:.4f} "
           f"mean_rank={result.metric('mean_rank'):.1f}")

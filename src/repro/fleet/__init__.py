@@ -1,0 +1,53 @@
+"""The process-parallel training fleet.
+
+The cluster simulator schedules thousands of Train() tasks in *simulated*
+parallel, but until this package existed every map task's real compute ran
+in one Python process.  ``repro.fleet`` adds the missing real parallelism
+at both levels the paper describes (section IV-B):
+
+* **Across configs** — :class:`ProcessFleetExecutor` fans per-config map
+  tasks over a pool of spawned worker processes behind the
+  :class:`Executor` protocol; the serial in-process path stays the
+  reference implementation and the simulated-clock billing/preemption/
+  checkpoint semantics remain the scheduling layer on top.
+* **Within one config** — :class:`SharedMemoryHogwild` trains one model
+  with lock-free worker *processes* updating embedding and optimizer
+  arrays allocated in ``multiprocessing.shared_memory``, the real-memory
+  version of the paper's Hogwild threads.
+
+Determinism contract: every Train() task is fully seeded from its config
+record and every Hogwild lane from :func:`repro.rng.derive_worker_seed`,
+so a sweep run through the fleet is byte-identical to the serial run —
+worker placement never moves a random draw.
+"""
+
+from repro.fleet.executor import (
+    CRASHED,
+    ERROR,
+    OK,
+    Executor,
+    FleetTask,
+    ProcessFleetExecutor,
+    SerialExecutor,
+    TaskOutcome,
+)
+from repro.fleet.hogwild import SharedMemoryHogwild
+from repro.fleet.sharedmem import SharedArrayBlock, attach_shared_arrays
+from repro.fleet.tasks import TrainTaskResult, TrainTaskSpec, run_train_task
+
+__all__ = [
+    "CRASHED",
+    "ERROR",
+    "OK",
+    "Executor",
+    "FleetTask",
+    "ProcessFleetExecutor",
+    "SerialExecutor",
+    "TaskOutcome",
+    "SharedMemoryHogwild",
+    "SharedArrayBlock",
+    "attach_shared_arrays",
+    "TrainTaskResult",
+    "TrainTaskSpec",
+    "run_train_task",
+]

@@ -1,0 +1,391 @@
+"""Task executors: serial reference and the multiprocessing fleet pool.
+
+An :class:`Executor` runs a batch of picklable :class:`FleetTask` items
+and returns one :class:`TaskOutcome` per task.  Outcomes are keyed by
+task id, so callers consume them in *their* order regardless of which
+worker finished first — the property that keeps fleet runs byte-identical
+to serial ones.
+
+:class:`ProcessFleetExecutor` is the real pool: spawn-safe worker
+processes (one pipe each), dispatched one task at a time so a crash is
+attributable to exactly one task.  A worker that dies mid-task (SIGKILL,
+OOM, segfault) is detected through its process sentinel, respawned, and
+its task retried up to ``max_attempts`` times before the outcome comes
+back :data:`CRASHED` — the pool never hangs and never shrinks.  Workers
+persist across ``run_tasks`` calls, so the (substantial) spawn + import
+cost is paid once per pool, not once per job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SigmundError, WorkerCrashError
+from repro.obs.metrics import NULL_METRICS
+
+#: Outcome statuses.
+OK = "ok"
+ERROR = "error"
+CRASHED = "crashed"
+
+#: Scheduling attempts per task before a crashing task is given up on.
+#: Real MapReduce retries a task on worker death; two attempts catch the
+#: transient kills (OOM from a co-tenant, a preempted container) while a
+#: task that *deterministically* kills its worker fails fast instead of
+#: cycling the pool MAX_TASK_ATTEMPTS times.
+DEFAULT_MAX_ATTEMPTS = 2
+
+
+@dataclass(frozen=True)
+class FleetTask:
+    """One unit of work: a picklable module-level callable plus payload."""
+
+    task_id: str
+    fn: Callable[[object], object]
+    payload: object
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task."""
+
+    task_id: str
+    status: str  # OK | ERROR | CRASHED
+    value: object = None
+    #: The exception the task raised (ERROR) or the WorkerCrashError
+    #: describing the worker death (CRASHED).
+    error: Optional[BaseException] = None
+    attempts: int = 1
+
+
+class Executor:
+    """Protocol for running fleet tasks; :class:`SerialExecutor` is the
+    reference implementation, :class:`ProcessFleetExecutor` the pool."""
+
+    name = "executor"
+    #: Whether tasks may run concurrently (callers use this for sizing).
+    parallel = False
+
+    def run_tasks(self, tasks: Sequence[FleetTask]) -> Dict[str, TaskOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline, in submission order.
+
+    This is the executor-shaped form of the original serial path: the
+    fleet parity suite compares it against :class:`ProcessFleetExecutor`
+    to pin down that process placement changes nothing.
+    """
+
+    name = "serial"
+    parallel = False
+
+    def run_tasks(self, tasks: Sequence[FleetTask]) -> Dict[str, TaskOutcome]:
+        outcomes: Dict[str, TaskOutcome] = {}
+        for task in tasks:
+            try:
+                value = task.fn(task.payload)
+            except Exception as exc:
+                outcomes[task.task_id] = TaskOutcome(task.task_id, ERROR, error=exc)
+            else:
+                outcomes[task.task_id] = TaskOutcome(task.task_id, OK, value)
+        return outcomes
+
+
+def _fleet_worker_main(conn, worker_index: int) -> None:
+    """Worker loop: receive ``(fn, payload)``, send ``(status, result)``.
+
+    Module-level so it pickles by reference under the spawn start method.
+    Any exception from the task function — including BaseExceptions like
+    a stray SimulatedCrash — is shipped back as an ERROR rather than
+    killing the worker; only a genuine process death (which this loop
+    cannot observe) surfaces as a crash, detected parent-side via the
+    process sentinel.
+    """
+    del worker_index
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt, OSError):
+            break
+        if message is None:
+            break
+        fn, payload = message
+        try:
+            reply: Tuple[str, object] = (OK, fn(payload))
+        except (KeyboardInterrupt, SystemExit):
+            break
+        except BaseException as exc:
+            reply = (ERROR, exc)
+        try:
+            conn.send(reply)
+        except Exception as exc:
+            # The result (or the exception) did not pickle: the task is
+            # still attributable, so report the transfer failure instead
+            # of dying and looking like a worker crash.
+            try:
+                conn.send(
+                    (ERROR, SigmundError(f"task result transfer failed: {exc!r}"))
+                )
+            except Exception:
+                break
+    conn.close()
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.process.BaseProcess
+    conn: object  # multiprocessing.connection.Connection
+    restarts: int = 0
+
+
+@dataclass
+class _Inflight:
+    task: FleetTask
+    attempt: int
+
+
+class ProcessFleetExecutor(Executor):
+    """A fixed pool of spawned worker processes, one in-flight task each.
+
+    * **Spawn-safe**: the ``spawn`` start method is the default (works on
+      every platform and never inherits a half-locked fork state); tasks
+      and results cross a per-worker pipe, so everything shipped must
+      pickle.
+    * **Sized by the machine**: ``n_workers`` defaults to
+      ``os.cpu_count()`` — the fleet exists to turn cores into sweep
+      throughput.
+    * **Crash containment**: a worker death is observed on its process
+      sentinel, attributed to its single in-flight task, the worker is
+      respawned, and the task retried up to ``max_attempts`` times.
+    * **Deterministic consumption**: outcomes are keyed by task id;
+      completion order never leaks to callers.
+
+    Pool metrics (worker crashes, restarts, task outcomes) go to the
+    process-local registry passed here — never to a day registry, so a
+    retried task cannot make a fleet day seal differ from a serial one.
+    """
+
+    name = "process"
+    parallel = True
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        start_method: str = "spawn",
+        metrics=NULL_METRICS,
+    ):
+        if n_workers is not None and n_workers < 1:
+            raise SigmundError("n_workers must be >= 1")
+        if max_attempts < 1:
+            raise SigmundError("max_attempts must be >= 1")
+        self.n_workers = n_workers if n_workers else (os.cpu_count() or 1)
+        self.max_attempts = max_attempts
+        self.metrics = metrics
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: List[Optional[_Worker]] = [None] * self.n_workers
+        self._closed = False
+        metrics.gauge("fleet_workers").set(self.n_workers)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int, restarts: int = 0) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_fleet_worker_main,
+            args=(child_conn, index),
+            name=f"fleet-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end
+        worker = _Worker(process=process, conn=parent_conn, restarts=restarts)
+        self._workers[index] = worker
+        return worker
+
+    def _worker(self, index: int) -> _Worker:
+        worker = self._workers[index]
+        if worker is None or not worker.process.is_alive():
+            restarts = worker.restarts if worker is not None else 0
+            if worker is not None:
+                self._reap(worker)
+                restarts += 1
+                self.metrics.counter("fleet_worker_restarts_total").inc()
+            worker = self._spawn(index, restarts=restarts)
+        return worker
+
+    @staticmethod
+    def _reap(worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[FleetTask]) -> Dict[str, TaskOutcome]:
+        if self._closed:
+            raise SigmundError("executor is closed")
+        from multiprocessing.connection import wait
+
+        outcomes: Dict[str, TaskOutcome] = {}
+        pending = deque(_Inflight(task, 1) for task in tasks)
+        busy: Dict[int, _Inflight] = {}
+
+        while pending or busy:
+            # Fill every idle worker slot.
+            for index in range(self.n_workers):
+                if not pending:
+                    break
+                if index in busy:
+                    continue
+                inflight = pending.popleft()
+                if not self._dispatch(index, inflight, busy):
+                    self._crashed(inflight, pending, outcomes)
+            if not busy:
+                continue
+
+            conn_index = {self._workers[i].conn: i for i in busy}
+            sentinel_index = {
+                self._workers[i].process.sentinel: i for i in busy
+            }
+            ready = wait(list(conn_index) + list(sentinel_index))
+            handled = set()
+            # Results first: a worker that answered and *then* died (e.g.
+            # pool shutdown racing a late kill) still yields its result.
+            for item in ready:
+                if item in conn_index:
+                    index = conn_index[item]
+                    handled.add(index)
+                    self._collect(index, busy, pending, outcomes)
+            for item in ready:
+                if item in sentinel_index:
+                    index = sentinel_index[item]
+                    if index in handled or index not in busy:
+                        continue
+                    # Dead process; drain a result that may have landed
+                    # in the pipe just before death.
+                    worker = self._workers[index]
+                    if worker.conn.poll():
+                        self._collect(index, busy, pending, outcomes)
+                    else:
+                        inflight = busy.pop(index)
+                        self.metrics.counter("fleet_worker_crashes_total").inc()
+                        self._reap(worker)
+                        self._workers[index] = None
+                        self._crashed(inflight, pending, outcomes)
+        for outcome in outcomes.values():
+            self.metrics.counter(
+                "fleet_tasks_total", outcome=outcome.status
+            ).inc()
+        return outcomes
+
+    def _dispatch(
+        self, index: int, inflight: _Inflight, busy: Dict[int, _Inflight]
+    ) -> bool:
+        """Send a task to worker ``index``; False if the send itself died."""
+        for _ in range(2):  # one respawn if the idle worker died in between
+            worker = self._worker(index)
+            try:
+                worker.conn.send((inflight.task.fn, inflight.task.payload))
+            except (BrokenPipeError, OSError):
+                self._reap(worker)
+                self._workers[index] = None
+                continue
+            busy[index] = inflight
+            return True
+        return False
+
+    def _collect(
+        self,
+        index: int,
+        busy: Dict[int, _Inflight],
+        pending: deque,
+        outcomes: Dict[str, TaskOutcome],
+    ) -> None:
+        worker = self._workers[index]
+        inflight = busy.pop(index)
+        try:
+            status, value = worker.conn.recv()
+        except (EOFError, OSError):
+            # Died mid-send: treat as a crash of this task.
+            self.metrics.counter("fleet_worker_crashes_total").inc()
+            self._reap(worker)
+            self._workers[index] = None
+            self._crashed(inflight, pending, outcomes)
+            return
+        task_id = inflight.task.task_id
+        if status == OK:
+            outcomes[task_id] = TaskOutcome(
+                task_id, OK, value, attempts=inflight.attempt
+            )
+        else:
+            outcomes[task_id] = TaskOutcome(
+                task_id, ERROR, error=value, attempts=inflight.attempt
+            )
+
+    def _crashed(
+        self,
+        inflight: _Inflight,
+        pending: deque,
+        outcomes: Dict[str, TaskOutcome],
+    ) -> None:
+        if inflight.attempt < self.max_attempts:
+            pending.append(_Inflight(inflight.task, inflight.attempt + 1))
+            return
+        task_id = inflight.task.task_id
+        error = WorkerCrashError(
+            f"worker process died running task {task_id!r} "
+            f"({inflight.attempt} attempts)",
+            attempts=inflight.attempt,
+        )
+        outcomes[task_id] = TaskOutcome(
+            task_id, CRASHED, error=error, attempts=inflight.attempt
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            self._reap(worker)
+            self._workers[index] = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,141 @@
+"""Shared-memory array blocks for cross-process Hogwild.
+
+One :class:`SharedArrayBlock` packs a named set of numpy arrays into a
+single ``multiprocessing.shared_memory`` segment.  The owner copies the
+initial values in and hands workers a picklable
+:class:`SharedStateHandle`; :func:`attach_shared_arrays` in a worker maps
+the *same physical pages*, so lock-free updates from any process are
+immediately visible to all — the property Hogwild (Niu et al. [24])
+relies on.
+
+Offsets are 64-byte aligned so concurrently-updated arrays never share a
+cache line at their boundaries (false sharing would serialize the very
+updates Hogwild leaves unsynchronized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import SigmundError
+
+#: Cache-line alignment for array offsets within the segment.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Placement of one named array inside the shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedStateHandle:
+    """Picklable description of a shared segment; workers attach via
+    :func:`attach_shared_arrays`."""
+
+    shm_name: str
+    specs: Tuple[SharedArraySpec, ...]
+    size: int
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayBlock:
+    """Owner side of a shared segment: allocates, seeds, and unlinks.
+
+    ``block.arrays`` are numpy views over the shared pages — the owner
+    trains through them exactly like private arrays, then
+    :meth:`close`/:meth:`unlink` when the workers are done.
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray]):
+        if not arrays:
+            raise SigmundError("shared block needs at least one array")
+        specs: List[SharedArraySpec] = []
+        offset = 0
+        for name, values in arrays.items():
+            offset = _aligned(offset)
+            specs.append(
+                SharedArraySpec(
+                    name=name,
+                    shape=tuple(values.shape),
+                    dtype=values.dtype.str,
+                    offset=offset,
+                )
+            )
+            offset += values.nbytes
+        size = max(offset, 1)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self.handle = SharedStateHandle(
+            shm_name=self._shm.name, specs=tuple(specs), size=size
+        )
+        self.arrays: Dict[str, np.ndarray] = {}
+        for spec in specs:
+            view = _view(self._shm, spec)
+            view[...] = arrays[spec.name]
+            self.arrays[spec.name] = view
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment itself; call once, after every close()."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArrayBlock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+
+def _view(shm: shared_memory.SharedMemory, spec: SharedArraySpec) -> np.ndarray:
+    return np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+    )
+
+
+def attach_shared_arrays(
+    handle: SharedStateHandle,
+) -> Tuple[Dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Worker side: map the segment and return ``(views, shm)``.
+
+    The caller must keep ``shm`` alive as long as the views are in use
+    and ``shm.close()`` when done.  The worker never unlinks — the owner
+    does — so the attach must not be resource-tracked: spawn children
+    share the parent's tracker process, and registering (or
+    unregistering) the name here would clobber the owner's registration
+    and either unlink the segment under the owner or make the owner's
+    own cleanup fail.  Python 3.13 exposes this as ``track=False``;
+    suppressing ``register`` during attach is the supported-on-3.11
+    equivalent.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+    finally:
+        resource_tracker.register = original_register
+    views = {spec.name: _view(shm, spec) for spec in handle.specs}
+    return views, shm

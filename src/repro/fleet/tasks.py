@@ -1,0 +1,202 @@
+"""Picklable Train() task specs and the worker-side entry point.
+
+One fleet task is one Train() invocation (the paper's per-config map
+task).  The coordinator builds a :class:`TrainTaskSpec` — config, dataset,
+settings, yesterday's model *state* (never the live object), and the
+decoded resume checkpoint — ships it to a worker process, and gets a
+:class:`TrainTaskResult` back: the output record, the trained state, a
+metrics snapshot, and an ordered **event log** of the coordinator-side
+effects the serial path would have performed inline.
+
+The event log is what keeps crash-recovery equivalence intact: inside the
+worker, checkpoint writes and ``CrashPlan`` probes are *recorded*, not
+executed (a worker has no access to coordinator storage, and crash-plan
+counters must observe the same global order as the serial run).  The
+coordinator replays the log in record order through the real
+:class:`~repro.core.checkpoint.CheckpointManager` (fault plans, stats)
+and the real :class:`~repro.core.recovery.CrashPlan` — so a simulated
+coordinator kill at ``train_epoch`` leaves byte-identical checkpoint
+storage, and recovery resumes exactly as it does under the serial path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ConfigRecord, OutputConfigRecord
+from repro.data.datasets import RetailerDataset
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, MetricsSnapshot
+
+#: Event kinds recorded by the worker, replayed by the coordinator.
+CHECKPOINT_EVENT = "checkpoint"
+DISCARD_EVENT = "discard"
+CRASH_CHECK_EVENT = "crash_check"
+
+
+@dataclass(frozen=True)
+class TrainTaskSpec:
+    """Everything one worker process needs to run Train() for one config."""
+
+    config: ConfigRecord
+    dataset: RetailerDataset
+    settings: object  # TrainerSettings (kept loose to avoid an import cycle)
+    #: Yesterday's model as ``(model_kind, get_state() dict)``, or None.
+    warm_state: Optional[Tuple[str, Dict[str, np.ndarray]]] = None
+    #: Decoded resume checkpoint as ``(state, epoch)``, or None.
+    resume: Optional[Tuple[Dict[str, np.ndarray], int]] = None
+    #: Record crash-probe events (a CrashPlan is armed coordinator-side).
+    record_crash_checks: bool = False
+    #: Record per-task metrics into a fresh registry and ship the snapshot.
+    metrics_enabled: bool = False
+
+
+@dataclass
+class TrainTaskResult:
+    """What a Train() worker ships back to the coordinator."""
+
+    output: OutputConfigRecord
+    model_kind: str  # "bpr" | "wals"
+    model_state: Dict[str, np.ndarray]
+    #: Optimizer accumulators (BPR only; WALS has no optimizer state).
+    optimizer_state: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: WALS hyper-params the worker trained with (rebuild needs them).
+    wals_params: Optional[object] = None
+    #: Ordered coordinator-side effects to replay (see module docstring).
+    events: List[tuple] = field(default_factory=list)
+    #: Per-task metrics snapshot (None when metrics are disabled).
+    metrics: Optional[MetricsSnapshot] = None
+
+
+class WorkerCheckpointRecorder:
+    """Stands in for :class:`CheckpointManager` inside a worker process.
+
+    Makes the same interval decisions the real manager would (first
+    ``maybe_checkpoint`` for a key writes immediately; afterwards only
+    once ``interval_seconds`` of simulated time elapsed; restore resets
+    the clock), but *records* write/discard events instead of touching
+    storage — fault plans, stats, and durability stay coordinator-side,
+    where the replay applies them in record order.
+    """
+
+    def __init__(
+        self,
+        interval_seconds: float,
+        resume: Optional[Tuple[Dict[str, np.ndarray], int]],
+        events: List[tuple],
+    ):
+        self.interval_seconds = interval_seconds
+        self._resume = resume
+        self._events = events
+        self._last_written: Dict[str, float] = {}
+
+    def try_restore(self, key: str, model) -> Optional[int]:
+        del key  # single-task recorder: the resume point is pre-resolved
+        if self._resume is None:
+            return None
+        state, epoch = self._resume
+        model.set_state(state)
+        return epoch
+
+    def maybe_checkpoint(self, key: str, model, now: float, epoch: int) -> bool:
+        last = self._last_written.get(key)
+        if last is not None and now - last < self.interval_seconds:
+            return False
+        self._last_written[key] = now
+        self._events.append((CHECKPOINT_EVENT, epoch, now, model.get_state()))
+        return True
+
+    def discard(self, key: str) -> None:
+        self._last_written.pop(key, None)
+        self._events.append((DISCARD_EVENT,))
+
+
+class WorkerCrashProbe:
+    """Stands in for :class:`CrashPlan` inside a worker process.
+
+    Never raises — a worker cannot know the plan's global counters (an
+    ``nth`` rule counts across *all* configs in coordinator order), so it
+    records every probe and lets the coordinator replay them against the
+    one real plan.  A task that would have crashed mid-epoch therefore
+    trains to completion in the worker; the replay fires the crash at the
+    equivalent point and discards the surplus work, which is invisible to
+    every output surface (nothing past the crash is published, journaled,
+    billed, or sealed).
+    """
+
+    def __init__(self, events: List[tuple]):
+        self._events = events
+
+    def check(self, stage: str, label: str = "") -> None:
+        self._events.append((CRASH_CHECK_EVENT, stage, label))
+
+
+def run_train_task(spec: TrainTaskSpec) -> TrainTaskResult:
+    """Worker entry point: one Train() invocation from a picklable spec.
+
+    Module-level (pickles by reference under spawn) and usable inline by
+    :class:`~repro.fleet.executor.SerialExecutor` — the parity suite runs
+    the same function both ways.
+    """
+    from repro.core.training import train_config
+
+    registry = MetricsRegistry() if spec.metrics_enabled else NULL_METRICS
+    events: List[tuple] = []
+    recorder = WorkerCheckpointRecorder(
+        spec.settings.checkpoint_interval_seconds, spec.resume, events
+    )
+    probe = WorkerCrashProbe(events) if spec.record_crash_checks else None
+    model, output = train_config(
+        spec.config,
+        spec.dataset,
+        settings=spec.settings,
+        warm_state=spec.warm_state,
+        checkpoints=recorder,
+        crash_plan=probe,
+        metrics=registry,
+    )
+    if spec.config.model_kind == "wals":
+        return TrainTaskResult(
+            output=output,
+            model_kind="wals",
+            model_state=model.get_state(),
+            wals_params=model.params,
+            events=events,
+            metrics=registry.snapshot() if spec.metrics_enabled else None,
+        )
+    return TrainTaskResult(
+        output=output,
+        model_kind="bpr",
+        model_state=model.get_state(),
+        optimizer_state=model.optimizer.get_state(),
+        events=events,
+        metrics=registry.snapshot() if spec.metrics_enabled else None,
+    )
+
+
+def rebuild_trained_model(
+    config: ConfigRecord, dataset: RetailerDataset, result: TrainTaskResult
+):
+    """Coordinator-side model reconstruction from a task result.
+
+    States cross the process boundary, objects do not: the rebuilt model
+    shares the coordinator's catalog/taxonomy objects (exactly like the
+    serial path's model) and carries the worker's trained parameters and
+    optimizer accumulators.
+    """
+    if result.model_kind == "wals":
+        from repro.models.wals import WALSModel
+
+        model = WALSModel(
+            dataset.n_items, result.wals_params, retailer_id=dataset.retailer_id
+        )
+        model.set_state(result.model_state)
+        return model
+    from repro.models.bpr import BPRModel
+
+    model = BPRModel(dataset.catalog, dataset.taxonomy, config.params)
+    model.set_state(result.model_state)
+    model.optimizer.set_state(result.optimizer_state)
+    return model

@@ -601,9 +601,19 @@ class BPRModel(Recommender):
         Returns the number of item rows copied.  Adagrad norms are *not*
         copied — the paper resets them before incremental runs.
         """
+        return self.warm_start_from_state(other._parameters())
+
+    def warm_start_from_state(self, state: Dict[str, np.ndarray]) -> int:
+        """:meth:`warm_start_from` against raw parameter arrays.
+
+        Fleet workers receive yesterday's model as its :meth:`get_state`
+        dict (the registry's live model object never crosses the process
+        boundary), so the warm start must work from arrays alone.  Same
+        row-prefix semantics and Adagrad norm reset as the model form.
+        """
         copied = 0
         for name, param in self._parameters().items():
-            source = other._parameters().get(name)
+            source = state.get(name)
             if source is None or source.ndim != param.ndim:
                 continue
             if param.ndim == 1:
@@ -619,6 +629,34 @@ class BPRModel(Recommender):
         self.optimizer.reset_norms()
         self.invalidate_cache()
         return copied
+
+    def bind_parameters(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rebind parameter storage to externally allocated arrays.
+
+        Shared-memory Hogwild allocates every parameter in a
+        ``multiprocessing.shared_memory`` segment and points each worker
+        process's model at the same buffers; updates race lock-free across
+        processes exactly as they do across threads.  Values are whatever
+        the arrays already hold — callers copy the current state in before
+        binding.  Validates every array before assigning any.
+        """
+        current = self._parameters()
+        for name, param in current.items():
+            if name not in arrays:
+                raise ConfigError(f"bind_parameters missing {name!r}")
+            array = arrays[name]
+            if array.shape != param.shape or array.dtype != param.dtype:
+                raise ConfigError(
+                    f"bound parameter {name!r} is {array.shape}/{array.dtype}, "
+                    f"model expects {param.shape}/{param.dtype}"
+                )
+        self.item_embeddings = arrays["item"]
+        self.context_embeddings = arrays["context"]
+        self.item_bias = arrays["bias"]
+        self.taxonomy_embeddings = arrays["taxonomy"]
+        self.brand_embeddings = arrays["brand"]
+        self.price_embeddings = arrays["price"]
+        self.invalidate_cache()
 
     def memory_bytes(self) -> int:
         """Approximate resident size of the model (cluster-sim scheduling)."""

@@ -92,10 +92,19 @@ class WALSModel(Recommender):
 
     def warm_start_from(self, other: "WALSModel") -> int:
         """Copy overlapping item-factor rows (same semantics as BPR)."""
-        if other.item_factors.shape[1] != self.item_factors.shape[1]:
+        return self.warm_start_from_state(other.get_state())
+
+    def warm_start_from_state(self, state: Dict[str, np.ndarray]) -> int:
+        """:meth:`warm_start_from` against a raw :meth:`get_state` dict.
+
+        Fleet workers receive yesterday's model as arrays, not as a live
+        object; same row-prefix semantics as the model form.
+        """
+        source = state.get("item_factors")
+        if source is None or source.shape[1] != self.item_factors.shape[1]:
             return 0
-        rows = min(self.n_items, other.n_items)
-        self.item_factors[:rows] = other.item_factors[:rows]
+        rows = min(self.n_items, source.shape[0])
+        self.item_factors[:rows] = source[:rows]
         return rows
 
     def memory_bytes(self) -> int:

@@ -55,6 +55,26 @@ def derive_seed(base_seed: int, *components: Union[int, str]) -> int:
     return h & 0x7FFFFFFFFFFFFFFF
 
 
+def derive_worker_seed(
+    base_seed: int,
+    process_index: int,
+    thread_index: int,
+    *components: Union[int, str],
+) -> int:
+    """Seed for one (process, thread) worker lane of a parallel unit of work.
+
+    Streams are namespaced by *logical* lane indices, never by ambient
+    process identity (pid, spawn order, time): the same logical shard draws
+    the same stream whether it runs inline, on a thread, or in a spawned
+    worker process.  This is what makes a sweep executed by the process
+    fleet byte-identical to the serial reference run — worker placement
+    can change freely without moving any random draw.
+    """
+    return derive_seed(
+        base_seed, "proc", process_index, "thread", thread_index, *components
+    )
+
+
 def hash_string(text: str) -> int:
     """Stable (process-independent) 63-bit hash of ``text``.
 

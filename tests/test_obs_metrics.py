@@ -281,3 +281,72 @@ class TestNullRegistry:
     def test_enabled_flags(self):
         assert MetricsRegistry().enabled is True
         assert NULL_METRICS.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Fleet fold: per-worker registries folded into the day registry
+# ----------------------------------------------------------------------
+_OBSERVATIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "gauge", "histogram"]),
+        st.sampled_from(["train_total", "peak_rss", "epoch_seconds"]),
+        _VALUES,
+    ),
+    max_size=24,
+)
+
+
+def _apply(registry: MetricsRegistry, observations) -> None:
+    for kind, name, value in observations:
+        if kind == "counter":
+            registry.counter(name + "_c").inc(value)
+        elif kind == "gauge":
+            registry.gauge(name + "_g").set(value)
+        else:
+            registry.histogram(name + "_h", buckets=_BUCKETS).observe(value)
+
+
+class TestFleetWorkerFold:
+    """The fleet runs each Train() task against a fresh per-worker
+    MetricsRegistry and folds the shipped snapshots into the coordinator's
+    day registry.  Worker placement must not change the sealed day: any
+    partition of the observation stream across workers has to fold to the
+    same snapshot a serial registry would produce."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(observations=_OBSERVATIONS, n_workers=st.integers(1, 4))
+    def test_worker_partition_folds_to_serial_registry(
+        self, observations, n_workers
+    ):
+        serial = MetricsRegistry()
+        _apply(serial, observations)
+
+        day = MetricsRegistry()
+        for worker in range(n_workers):
+            per_worker = MetricsRegistry()  # fresh registry per task/worker
+            _apply(per_worker, observations[worker::n_workers])
+            day.fold(per_worker.snapshot())
+
+        got = day.snapshot().to_dict()
+        want = serial.snapshot().to_dict()
+        assert got["counters"] == pytest.approx(want["counters"])
+        assert got["gauges"] == want["gauges"]
+        assert got["histograms"].keys() == want["histograms"].keys()
+        for key, hist in want["histograms"].items():
+            assert got["histograms"][key]["counts"] == hist["counts"]
+            assert got["histograms"][key]["sum"] == pytest.approx(hist["sum"])
+
+    def test_fold_order_is_irrelevant(self):
+        parts = []
+        for worker in range(3):
+            registry = MetricsRegistry()
+            registry.counter("tasks_total", worker=str(worker)).inc(worker + 1)
+            registry.counter("tasks_total").inc(1)
+            parts.append(registry.snapshot())
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for part in parts:
+            forward.fold(part)
+        for part in reversed(parts):
+            backward.fold(part)
+        assert forward.snapshot() == backward.snapshot()
