@@ -1,0 +1,177 @@
+"""E27 — chaos drills: overload protection on vs off.
+
+The serving tier's availability story (paper section V: "the system
+must keep answering every retailer, every day") is only credible if it
+holds under hostile traffic.  This experiment runs the scripted chaos
+drills from :mod:`repro.scenarios` twice each — once with admission
+control, circuit breakers, and deadline budgets enabled, once with all
+protection stripped — and compares the sealed verdicts:
+
+* **protected**: every drill must pass every acceptance check
+  (availability floor, p99 bound, CTR invariance, degradation shape),
+* **unprotected**: the adversarial drills (flash sale, bot flood, cell
+  outage) must demonstrably fail — queue collapse blows the p99 bound
+  and the bot flood moves organic CTR,
+* **determinism**: rerunning a drill yields a byte-identical verdict.
+
+Results land in ``benchmarks/results/e27.txt``, ``BENCH_chaos.json``,
+and the per-scenario verdict JSON in
+``benchmarks/results/chaos_verdicts.json`` (the CI artifact).
+``E27_FAST=1`` runs only the two cheapest drills (flash_sale,
+cell_outage) protected + unprotected and asserts protection strictly
+improves worst-day p99 — the CI smoke mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from benchmarks.bench_util import emit, fmt_row
+from repro.scenarios import (
+    FAST_SCENARIOS,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+RESULTS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_chaos.json"
+VERDICTS_JSON = pathlib.Path(__file__).parent / "results" / "chaos_verdicts.json"
+
+#: Drills expected to FAIL with protection stripped (the bench's point).
+ADVERSARIAL = ("flash_sale", "bot_flood", "cell_outage")
+
+
+def summarize(result) -> dict:
+    verdict = result.verdict()
+    return {
+        "passed": verdict["passed"],
+        "p99_ms": result.p99_ms,
+        "availability": result.availability,
+        "organic_ctr": round(result.organic_ctr, 6),
+        "shed": sum(d.shed for d in result.day_stats),
+        "breaker_transitions": sum(
+            d.breaker_transitions for d in result.day_stats
+        ),
+        "failed_checks": sorted(
+            c["name"] for c in verdict["checks"] if not c["passed"]
+        ),
+    }
+
+
+def test_chaos_scenarios(capsys):
+    fast = bool(os.environ.get("E27_FAST"))
+    protected_names = list(FAST_SCENARIOS) if fast else scenario_names()
+    unprotected_names = [n for n in protected_names if n in ADVERSARIAL]
+
+    protected = {
+        name: run_scenario(get_scenario(name), protected=True)
+        for name in protected_names
+    }
+    unprotected = {
+        name: run_scenario(get_scenario(name), protected=False)
+        for name in unprotected_names
+    }
+
+    # ------------------------------------------------------------------
+    # Invariants (enforced in fast mode too — the CI smoke)
+    # ------------------------------------------------------------------
+    for name, result in protected.items():
+        verdict = result.verdict()
+        assert verdict["passed"], (
+            f"{name} failed protected: "
+            f"{[c for c in verdict['checks'] if not c['passed']]}"
+        )
+    for name, result in unprotected.items():
+        assert not result.verdict()["passed"], (
+            f"{name} passed UNPROTECTED — the drill no longer bites"
+        )
+        # Protection must strictly improve worst-day p99.
+        assert protected[name].p99_ms < result.p99_ms, (
+            f"{name}: protected p99 {protected[name].p99_ms:.2f}ms not "
+            f"below unprotected {result.p99_ms:.2f}ms"
+        )
+        deadline = protected[name].scenario.deadline_ms
+        assert protected[name].p99_ms <= deadline
+        assert result.p99_ms > deadline
+
+    # Byte-deterministic verdicts: rerun the cheapest drill.
+    rerun_name = protected_names[0]
+    rerun = run_scenario(get_scenario(rerun_name), protected=True)
+    assert rerun.verdict_json() == protected[rerun_name].verdict_json()
+
+    # ------------------------------------------------------------------
+    # Report + artifacts
+    # ------------------------------------------------------------------
+    widths = [15, 12, 9, 9, 13, 7, 9]
+    lines = [
+        f"{len(protected)} drills protected, "
+        f"{len(unprotected)} rerun unprotected "
+        f"({'fast' if fast else 'full'} mode); deadline 25ms",
+        "",
+        fmt_row("scenario", "mode", "p99 ms", "avail",
+                "organic CTR", "shed", "verdict", widths=widths),
+    ]
+    for name in protected_names:
+        rows = [("protected", protected[name])]
+        if name in unprotected:
+            rows.append(("unprotected", unprotected[name]))
+        for mode, result in rows:
+            summary = summarize(result)
+            lines.append(
+                fmt_row(
+                    name, mode,
+                    f"{summary['p99_ms']:.2f}",
+                    f"{summary['availability']:.4f}",
+                    f"{summary['organic_ctr']:.4f}",
+                    summary["shed"],
+                    "PASS" if summary["passed"] else "FAIL",
+                    widths=widths,
+                )
+            )
+    emit("E27", "chaos drills: overload protection on vs off", lines, capsys)
+
+    VERDICTS_JSON.parent.mkdir(exist_ok=True)
+    VERDICTS_JSON.write_text(
+        json.dumps(
+            {
+                "protected": {
+                    n: json.loads(r.verdict_json())
+                    for n, r in sorted(protected.items())
+                },
+                "unprotected": {
+                    n: json.loads(r.verdict_json())
+                    for n, r in sorted(unprotected.items())
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    if fast:
+        return
+
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "experiment": "E27",
+                "source": "benchmarks/bench_chaos_scenarios.py",
+                "deadline_ms": 25.0,
+                "scenarios": {
+                    name: {
+                        "protected": summarize(protected[name]),
+                        **(
+                            {"unprotected": summarize(unprotected[name])}
+                            if name in unprotected else {}
+                        ),
+                    }
+                    for name in protected_names
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A flash-sale chaos drill, end to end.
+
+The paper's operational claim — thousands of recommendation problems
+solved daily — only matters if the serving tier survives what retail
+traffic actually does.  This example runs the ``flash_sale`` drill from
+the scenario catalog: one retailer's traffic spikes ~30x for a day
+against a deliberately small serving pool, twice —
+
+1. **Unprotected** — no admission control, no circuit breakers, no
+   deadline budgets.  The queue backlog compounds and p99 blows through
+   the 25ms deadline.
+2. **Protected** — a token-bucket admission controller sheds the
+   overflow to the (precomputed, cheap) popularity fallback *before*
+   the queue collapses, per-request deadline budgets truncate work that
+   cannot finish in time, and every shed request still gets a page.
+
+Both runs are byte-deterministic and judged by the same machine-checkable
+acceptance checks the E27 bench and CI use, evaluated against sealed
+per-day metric snapshots.
+
+Run:  python examples/chaos_day.py
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import get_scenario, run_scenario
+
+
+def show(result, label: str) -> None:
+    print(f"\n--- {label} ---")
+    for stats in result.day_stats:
+        shed = stats.buckets["shed"]
+        print(
+            f"day {stats.day}: p99={stats.p99_ms:8.2f}ms "
+            f"availability={stats.availability:.4f} "
+            f"shed={shed:4d} "
+            f"max_queue_wait={stats.max_queue_wait_ms:8.2f}ms"
+        )
+    verdict = result.verdict()
+    for check in verdict["checks"]:
+        flag = "PASS" if check["passed"] else "FAIL"
+        print(f"  [{flag}] {check['name']}: {check['detail']}")
+    print(f"verdict: {'PASS' if verdict['passed'] else 'FAIL'}")
+
+
+def main() -> None:
+    scenario = get_scenario("flash_sale")
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print(
+        f"{len(scenario.retailer_items)} retailers, "
+        f"{scenario.requests_per_day} requests/day for {scenario.days} days, "
+        f"{scenario.n_servers} compute servers, "
+        f"deadline {scenario.deadline_ms:.0f}ms"
+    )
+
+    # Day 2 is the sale: traffic jumps to 8000 qps and the head retailer
+    # takes a 30x share boost — far beyond what two servers can compute.
+    unprotected = run_scenario(scenario, protected=False)
+    show(unprotected, "unprotected: queue collapse")
+
+    protected = run_scenario(scenario, protected=True)
+    show(protected, "protected: shed early, stay under deadline")
+
+    # The trade visible in one line: protection converts an unbounded
+    # queue backlog into a bounded count of popularity-page serves.
+    worst_unprotected = max(d.p99_ms for d in unprotected.day_stats)
+    worst_protected = max(d.p99_ms for d in protected.day_stats)
+    total_shed = sum(d.buckets["shed"] for d in protected.day_stats)
+    print(
+        f"\np99 {worst_unprotected:.1f}ms -> {worst_protected:.1f}ms "
+        f"by shedding {total_shed} of "
+        f"{sum(d.requests for d in protected.day_stats)} requests "
+        f"to the popularity fallback (zero empty pages either way)"
+    )
+
+
+if __name__ == "__main__":
+    main()

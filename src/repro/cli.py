@@ -14,6 +14,9 @@ Commands:
   frontend and print p50/p99 latency, QPS per shard, and cache hit rate.
 * ``retrieval-bench`` — build an IVF ANN index over a synthetic catalog
   and print recall@k and exact-vs-ANN query timings per nprobe.
+* ``chaos`` — run a scripted chaos drill (flash sale, bot flood, cell
+  outage, ...) against the overload-protected serving stack and print
+  the machine-checkable verdict.
 """
 
 from __future__ import annotations
@@ -120,6 +123,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     retrieval.add_argument("--k", type=int, default=100)
     retrieval.add_argument("--seed", type=int, default=0)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a scripted chaos drill and print the sealed verdict",
+    )
+    chaos.add_argument(
+        "--scenario", required=True,
+        help="drill name (see --scenario list), or 'list' to enumerate",
+    )
+    chaos.add_argument(
+        "--unprotected", action="store_true",
+        help="disable admission control, breakers, and deadline budgets "
+             "(demonstrates why they exist)",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="also write the canonical verdict JSON to this path",
+    )
     return parser
 
 
@@ -356,6 +377,41 @@ def cmd_retrieval_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+    if args.scenario == "list":
+        for name in scenario_names():
+            print(f"{name:>16}: {get_scenario(name).description}")
+        return 0
+    scenario = get_scenario(args.scenario)
+    protected = not args.unprotected
+    mode = "protected" if protected else "UNPROTECTED"
+    print(f"scenario {scenario.name} ({mode}): {scenario.description}")
+    result = run_scenario(scenario, protected=protected)
+    for stats in result.day_stats:
+        degraded = {
+            k: v for k, v in stats.buckets.items()
+            if k in ("stale", "fallback", "shed", "empty") and v
+        }
+        print(
+            f"day {stats.day}: p50={stats.p50_ms:.2f}ms "
+            f"p99={stats.p99_ms:.2f}ms "
+            f"availability={stats.availability:.4f}"
+            + (f" degraded={degraded}" if degraded else "")
+        )
+    verdict = result.verdict()
+    for check in verdict["checks"]:
+        flag = "PASS" if check["passed"] else "FAIL"
+        print(f"  [{flag}] {check['name']}: {check['detail']}")
+    print("verdict:", "PASS" if verdict["passed"] else "FAIL")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.verdict_json())
+        print(f"wrote {args.out}")
+    return 0 if verdict["passed"] else 1
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "service": cmd_service,
@@ -364,6 +420,7 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "serve-bench": cmd_serve_bench,
     "retrieval-bench": cmd_retrieval_bench,
+    "chaos": cmd_chaos,
 }
 
 

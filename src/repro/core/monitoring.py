@@ -17,6 +17,14 @@ import numpy as np
 #: Relative MAP drop that fires an alert.
 DEFAULT_REGRESSION_THRESHOLD = 0.30
 
+#: The frontend's mutually-exclusive serving outcome buckets.  Every
+#: request terminates in exactly one, so their counts must sum to the
+#: request count — the conservation law serving-window accounting
+#: enforces (no double-count, no gap).
+SERVING_BUCKETS = (
+    "cache", "coalesced", "fresh", "stale", "fallback", "shed", "empty",
+)
+
 
 @dataclass(frozen=True)
 class Alert:
@@ -42,6 +50,38 @@ class Alert:
         return (self.previous - self.current) / self.previous
 
 
+@dataclass(frozen=True)
+class ServingWindow:
+    """One observation window of serving-outcome accounting.
+
+    ``buckets`` maps each :data:`SERVING_BUCKETS` name to its count;
+    construction via :meth:`QualityMonitor.record_serving_window` has
+    already verified conservation (``sum(buckets) == requests``).
+    """
+
+    day: int
+    requests: int
+    buckets: Dict[str, int]
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered with *something* (non-empty)."""
+        if self.requests == 0:
+            return 1.0
+        return 1.0 - self.buckets.get("empty", 0) / self.requests
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction served below full freshness (stale/fallback/shed/empty)."""
+        if self.requests == 0:
+            return 0.0
+        degraded = sum(
+            self.buckets.get(name, 0)
+            for name in ("stale", "fallback", "shed", "empty")
+        )
+        return degraded / self.requests
+
+
 class QualityMonitor:
     """Tracks per-retailer daily metrics and raises regression alerts."""
 
@@ -53,6 +93,8 @@ class QualityMonitor:
         self.alerts: List[Alert] = []
         # day -> the sealed observability snapshot the service recorded.
         self._day_snapshots: Dict[int, Dict[str, object]] = {}
+        # day -> conservation-checked serving-outcome accounting.
+        self._serving_windows: Dict[int, ServingWindow] = {}
 
     def record(self, retailer_id: str, day: int, map_at_10: float) -> Optional[Alert]:
         """Record today's metric; returns an alert if it regressed badly."""
@@ -100,6 +142,66 @@ class QualityMonitor:
         )
         self.alerts.append(alert)
         return alert
+
+    def record_serving_window(
+        self,
+        day: int,
+        requests: int,
+        buckets: Dict[str, int],
+        availability_floor: Optional[float] = None,
+    ) -> ServingWindow:
+        """Record one serving window, enforcing bucket conservation.
+
+        ``buckets`` must cover each request exactly once: an unknown
+        bucket name, a negative count, or a sum that misses ``requests``
+        (double-count or gap) raises ``ValueError`` — accounting bugs
+        fail loudly here instead of silently skewing availability.
+        With an ``availability_floor``, a window whose availability
+        falls below it raises a ``kind="failure"`` alert with
+        ``stage="serving"``.
+        """
+        unknown = sorted(set(buckets) - set(SERVING_BUCKETS))
+        if unknown:
+            raise ValueError(f"unknown serving buckets: {unknown}")
+        negative = sorted(name for name, count in buckets.items() if count < 0)
+        if negative:
+            raise ValueError(f"negative serving bucket counts: {negative}")
+        total = sum(buckets.values())
+        if total != requests:
+            raise ValueError(
+                "serving bucket conservation violated: buckets sum to "
+                f"{total} but {requests} requests were served "
+                "(double-count or gap)"
+            )
+        window = ServingWindow(
+            day=day,
+            requests=int(requests),
+            buckets={name: int(buckets.get(name, 0)) for name in SERVING_BUCKETS},
+        )
+        self._serving_windows[day] = window
+        if (
+            availability_floor is not None
+            and window.availability < availability_floor
+        ):
+            self.alerts.append(
+                Alert(
+                    retailer_id="*",
+                    day=day,
+                    metric="serving_availability",
+                    previous=float(availability_floor),
+                    current=window.availability,
+                    kind="failure",
+                    detail=(
+                        f"{window.buckets.get('empty', 0)} of "
+                        f"{window.requests} requests went unanswered"
+                    ),
+                    stage="serving",
+                )
+            )
+        return window
+
+    def serving_window(self, day: int) -> Optional[ServingWindow]:
+        return self._serving_windows.get(day)
 
     def metric_history(self, retailer_id: str) -> Dict[int, float]:
         return dict(self._history.get(retailer_id, {}))

@@ -1,0 +1,66 @@
+"""Chaos scenario engine: scripted world events over the serving tier.
+
+The paper's operational claim — thousands of recommendation problems
+solved *daily* — only holds if the loop survives what real retail
+traffic does: flash sales, bot floods, onboarding waves, cell outages.
+This package scripts those events deterministically
+(:mod:`repro.scenarios.events`), runs them against the real serving
+stack (:mod:`repro.scenarios.engine`), and holds the outcome to
+machine-checkable acceptance checks evaluated on sealed ``repro.obs``
+day snapshots (:mod:`repro.scenarios.checks`).  The six canonical
+drills live in :mod:`repro.scenarios.catalog`.
+"""
+
+from repro.scenarios.catalog import (
+    FAST_SCENARIOS,
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.checks import (
+    AcceptanceCheck,
+    AvailabilityFloor,
+    BreakerDiscipline,
+    BucketCeiling,
+    CheckResult,
+    CTRInvariance,
+    DegradedServes,
+    P99Bound,
+)
+from repro.scenarios.engine import (
+    DayStats,
+    Scenario,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.scenarios.events import (
+    ADVERSARIAL_KINDS,
+    EVENT_KINDS,
+    ScenarioEvent,
+    event,
+    strip_adversarial,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "DayStats",
+    "run_scenario",
+    "ScenarioEvent",
+    "event",
+    "strip_adversarial",
+    "EVENT_KINDS",
+    "ADVERSARIAL_KINDS",
+    "AcceptanceCheck",
+    "CheckResult",
+    "AvailabilityFloor",
+    "P99Bound",
+    "CTRInvariance",
+    "DegradedServes",
+    "BucketCeiling",
+    "BreakerDiscipline",
+    "SCENARIOS",
+    "FAST_SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,239 @@
+"""The six scripted chaos drills (the scenario catalog).
+
+Each builder returns a fully-specified :class:`~repro.scenarios.engine.Scenario`
+— world sizing, timed events, deterministic seed, and the acceptance
+checks the run must satisfy.  The catalog is the contract the E27 bench
+and the ``repro chaos`` CLI run against:
+
+==================  ===========================================================
+``flash_sale``      One retailer's traffic spikes ~30x for a day (legitimate
+                    demand).  Protection must shed to the popularity fallback
+                    before the queue collapses; unprotected, the backlog blows
+                    the p99 bound.
+``seasonal_drift``  Sustained catalog/interest drift with daily republish; one
+                    day's batch fails to publish.  Stale serves must appear
+                    that day (counted, still answered) and clear the next.
+``onboarding``      A wave of brand-new retailers arrives mid-scenario.  Cold
+                    traffic serves from the instantly-shipped popularity
+                    fallback until the first table publishes next day.
+``catalog_merge``   A small retailer is absorbed into a larger one: traffic
+                    redistributes, the merged catalog republishes, and nobody
+                    sees an empty page.
+``bot_flood``       Scripted clients hammer the head retailer with
+                    cache-busting requests.  Per-client rate limits shed the
+                    bots; organic CTR must not move versus the control run.
+``cell_outage``     A third of serving nodes dies for a day under elevated
+                    load.  Circuit breakers must trip (skipping the dead cell
+                    for free), keep p99 bounded, and close again on recovery.
+==================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import SigmundError
+from repro.scenarios.checks import (
+    AvailabilityFloor,
+    BreakerDiscipline,
+    BucketCeiling,
+    CTRInvariance,
+    DegradedServes,
+    P99Bound,
+)
+from repro.scenarios.engine import Scenario
+from repro.scenarios.events import event
+
+#: The deadline every protected scenario holds its p99 to.
+DEADLINE_MS = 25.0
+
+
+def flash_sale() -> Scenario:
+    return Scenario(
+        name="flash_sale",
+        description="30x traffic spike on the head retailer for one day",
+        seed=2701,
+        days=3,
+        retailer_items=(200, 120, 80, 60),
+        base_qps=1_000.0,
+        requests_per_day=2_500,
+        n_servers=2,
+        deadline_ms=DEADLINE_MS,
+        events=(
+            event(2, "set_qps", qps=8_000.0),
+            event(2, "boost_retailer", retailer_id="r00", factor=30.0),
+            event(3, "set_qps", qps=1_000.0),
+            event(3, "clear_boosts"),
+        ),
+        checks=(
+            AvailabilityFloor(0.999),
+            P99Bound(DEADLINE_MS),
+            # Shedding is the expected response to the spike...
+            DegradedServes("shed", min_count=1, days=(2,)),
+            # ...but must never become the dominant serving mode.
+            BucketCeiling("shed", 0.6, days=(2,)),
+        ),
+    )
+
+
+def seasonal_drift() -> Scenario:
+    return Scenario(
+        name="seasonal_drift",
+        description="daily catalog/interest drift; one publish fails",
+        seed=2702,
+        days=4,
+        retailer_items=(150, 100, 70),
+        base_qps=1_000.0,
+        requests_per_day=1_500,
+        n_servers=2,
+        deadline_ms=DEADLINE_MS,
+        events=(
+            event(1, "drift", new_item_rate=0.08, interest_drift=0.15),
+            event(2, "drift", new_item_rate=0.08, interest_drift=0.15),
+            event(3, "drift", new_item_rate=0.08, interest_drift=0.15),
+            event(3, "skip_publish", retailer_id="r00"),
+            event(4, "drift", new_item_rate=0.08, interest_drift=0.15),
+        ),
+        checks=(
+            AvailabilityFloor(0.999),
+            P99Bound(DEADLINE_MS),
+            # The failed publish must surface as stale serves that day...
+            DegradedServes("stale", min_count=1, days=(3,)),
+            # ...and clear completely once publishing resumes.
+            BucketCeiling("stale", 0.0, days=(4,)),
+        ),
+    )
+
+
+def onboarding() -> Scenario:
+    return Scenario(
+        name="onboarding",
+        description="three cold retailers onboard in one wave",
+        seed=2703,
+        days=4,
+        retailer_items=(180, 110, 80),
+        base_qps=1_000.0,
+        requests_per_day=1_500,
+        n_servers=2,
+        deadline_ms=DEADLINE_MS,
+        events=(
+            event(2, "onboard_retailer", retailer_id="new_a", n_items=90),
+            event(2, "onboard_retailer", retailer_id="new_b", n_items=70),
+            event(2, "onboard_retailer", retailer_id="new_c", n_items=50),
+        ),
+        checks=(
+            AvailabilityFloor(0.999),
+            P99Bound(DEADLINE_MS),
+            # Cold-start traffic must land on the popularity fallback
+            # (never an empty page) until the first table publishes.
+            DegradedServes("fallback", min_count=5, days=(2,)),
+            # By the last day every onboarded retailer serves tables.
+            BucketCeiling("fallback", 0.0, days=(4,)),
+        ),
+    )
+
+
+def catalog_merge() -> Scenario:
+    return Scenario(
+        name="catalog_merge",
+        description="the smallest retailer is absorbed into the second",
+        seed=2704,
+        days=3,
+        retailer_items=(160, 110, 80, 50),
+        base_qps=1_000.0,
+        requests_per_day=1_500,
+        n_servers=2,
+        deadline_ms=DEADLINE_MS,
+        events=(
+            event(2, "merge_retailers", source="r03", target="r01"),
+        ),
+        checks=(
+            AvailabilityFloor(1.0),
+            P99Bound(DEADLINE_MS),
+            BucketCeiling("empty", 0.0),
+        ),
+    )
+
+
+def bot_flood() -> Scenario:
+    return Scenario(
+        name="bot_flood",
+        description="cache-busting bot flood that must not move organic CTR",
+        seed=2705,
+        days=3,
+        retailer_items=(200, 120, 80),
+        base_qps=1_000.0,
+        requests_per_day=2_000,
+        n_servers=2,
+        deadline_ms=DEADLINE_MS,
+        client_rate_qps=5.0,
+        client_burst=10.0,
+        events=(
+            event(2, "bot_flood", retailer_id="r00", n_bots=25,
+                  requests=5_000),
+        ),
+        checks=(
+            CTRInvariance(tolerance=0.015),
+            AvailabilityFloor(0.999),
+            P99Bound(DEADLINE_MS),
+        ),
+    )
+
+
+def cell_outage() -> Scenario:
+    return Scenario(
+        name="cell_outage",
+        description="a third of the serving fleet dies under elevated load",
+        seed=2706,
+        days=4,
+        retailer_items=(180, 120, 90, 60),
+        base_qps=1_000.0,
+        requests_per_day=2_000,
+        n_servers=2,
+        n_nodes=6,
+        replication=2,
+        deadline_ms=DEADLINE_MS,
+        breaker_cooldown_ms=400.0,
+        events=(
+            event(2, "set_qps", qps=2_400.0),
+            event(2, "fail_node", node_id=0),
+            event(2, "fail_node", node_id=1),
+            event(3, "recover_node", node_id=0),
+            event(3, "recover_node", node_id=1),
+            event(4, "set_qps", qps=1_000.0),
+        ),
+        checks=(
+            AvailabilityFloor(0.999),
+            P99Bound(DEADLINE_MS),
+            # Breakers must have tripped during the outage (two nodes
+            # opening + closing again) and be closed by scenario end.
+            BreakerDiscipline(min_transitions=4),
+        ),
+    )
+
+
+#: Name -> builder.  Builders (not instances) keep every run fresh.
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "flash_sale": flash_sale,
+    "seasonal_drift": seasonal_drift,
+    "onboarding": onboarding,
+    "catalog_merge": catalog_merge,
+    "bot_flood": bot_flood,
+    "cell_outage": cell_outage,
+}
+
+#: The two cheapest drills, for CI smoke (E27_FAST) and quick local runs.
+FAST_SCENARIOS = ("flash_sale", "cell_outage")
+
+
+def get_scenario(name: str) -> Scenario:
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise SigmundError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    return builder()
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)

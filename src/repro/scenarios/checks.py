@@ -1,0 +1,244 @@
+"""Machine-checkable acceptance checks over sealed scenario days.
+
+Every check reads **only** the per-day seals a scenario run produced
+(:class:`~repro.scenarios.engine.DayStats`, parsed back out of the
+``repro.obs`` day-seal snapshots) — never live objects — so a verdict is
+a pure function of the sealed record, and rerunning a scenario
+byte-identically reruns its verdict byte-identically.
+
+A check returns a :class:`CheckResult` with the observed value, the
+bound it was held to, and a human-readable detail line; a scenario
+passes when every check passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.exceptions import SigmundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.scenarios.engine import DayStats, ScenarioResult
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One acceptance check's verdict."""
+
+    name: str
+    passed: bool
+    observed: float
+    bound: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": bool(self.passed),
+            "observed": float(self.observed),
+            "bound": float(self.bound),
+            "detail": self.detail,
+        }
+
+
+class AcceptanceCheck:
+    """Base class: a named predicate over a :class:`ScenarioResult`."""
+
+    name: str = "check"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        raise NotImplementedError
+
+    def _days(
+        self, result: "ScenarioResult", days: Optional[Sequence[int]]
+    ) -> Sequence["DayStats"]:
+        stats = result.day_stats
+        if days is None:
+            return stats
+        wanted = set(days)
+        picked = [d for d in stats if d.day in wanted]
+        if not picked:
+            raise SigmundError(
+                f"check {self.name!r} references days {sorted(wanted)} "
+                "outside the scenario"
+            )
+        return picked
+
+
+class AvailabilityFloor(AcceptanceCheck):
+    """Every day must answer at least ``floor`` of requests non-empty."""
+
+    def __init__(self, floor: float = 0.999, days: Optional[Sequence[int]] = None):
+        if not 0.0 < floor <= 1.0:
+            raise SigmundError("availability floor must be in (0, 1]")
+        self.floor = float(floor)
+        self.days = tuple(days) if days is not None else None
+        self.name = f"availability>={self.floor}"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        picked = self._days(result, self.days)
+        worst = min(picked, key=lambda d: (d.availability, -d.day))
+        return CheckResult(
+            name=self.name,
+            passed=worst.availability >= self.floor,
+            observed=worst.availability,
+            bound=self.floor,
+            detail=(
+                f"worst day {worst.day}: {worst.buckets.get('empty', 0)} of "
+                f"{worst.requests} requests empty"
+            ),
+        )
+
+
+class P99Bound(AcceptanceCheck):
+    """No day's p99 simulated latency may exceed ``bound_ms``."""
+
+    def __init__(self, bound_ms: float, days: Optional[Sequence[int]] = None):
+        if bound_ms <= 0:
+            raise SigmundError("p99 bound must be > 0")
+        self.bound_ms = float(bound_ms)
+        self.days = tuple(days) if days is not None else None
+        self.name = f"p99<={self.bound_ms}ms"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        picked = self._days(result, self.days)
+        worst = max(picked, key=lambda d: (d.p99_ms, d.day))
+        return CheckResult(
+            name=self.name,
+            passed=worst.p99_ms <= self.bound_ms,
+            observed=worst.p99_ms,
+            bound=self.bound_ms,
+            detail=(
+                f"worst day {worst.day}: p99 {worst.p99_ms:.2f}ms "
+                f"(p50 {worst.p50_ms:.2f}ms)"
+            ),
+        )
+
+
+class CTRInvariance(AcceptanceCheck):
+    """Organic CTR must stay within ``tolerance`` of the control run.
+
+    The control run replays the identical scenario (same seed, same
+    organic stream) with adversarial events stripped; an attack the
+    protection absorbs leaves organic click-through where the control
+    puts it.  Compared on the whole-scenario pooled organic CTR.
+    """
+
+    def __init__(self, tolerance: float = 0.01):
+        if tolerance <= 0:
+            raise SigmundError("CTR tolerance must be > 0")
+        self.tolerance = float(tolerance)
+        self.name = f"ctr_invariant±{self.tolerance}"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        if result.control_ctr is None:
+            raise SigmundError(
+                "CTRInvariance needs a control run (scenario has no "
+                "adversarial events to strip?)"
+            )
+        delta = abs(result.organic_ctr - result.control_ctr)
+        return CheckResult(
+            name=self.name,
+            passed=delta <= self.tolerance,
+            observed=delta,
+            bound=self.tolerance,
+            detail=(
+                f"organic CTR {result.organic_ctr:.4f} vs control "
+                f"{result.control_ctr:.4f}"
+            ),
+        )
+
+
+class DegradedServes(AcceptanceCheck):
+    """A bucket must show at least ``min_count`` serves on given days.
+
+    The *behavioral* freshness checks: a skipped publish must actually
+    surface as stale serves (degraded-but-alive), an onboarding day must
+    actually serve from the fallback — silence would mean the accounting
+    lies.
+    """
+
+    def __init__(
+        self,
+        bucket: str,
+        min_count: int = 1,
+        days: Optional[Sequence[int]] = None,
+    ):
+        self.bucket = bucket
+        self.min_count = int(min_count)
+        self.days = tuple(days) if days is not None else None
+        self.name = f"{bucket}_serves>={self.min_count}"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        picked = self._days(result, self.days)
+        observed = sum(d.buckets.get(self.bucket, 0) for d in picked)
+        return CheckResult(
+            name=self.name,
+            passed=observed >= self.min_count,
+            observed=float(observed),
+            bound=float(self.min_count),
+            detail=f"over days {[d.day for d in picked]}",
+        )
+
+
+class BucketCeiling(AcceptanceCheck):
+    """A bucket's share of requests must stay below ``max_fraction``.
+
+    Used to bound degradation: shedding is allowed under attack but must
+    not become the dominant serving mode; stale serves must clear once
+    publishes resume.
+    """
+
+    def __init__(
+        self,
+        bucket: str,
+        max_fraction: float,
+        days: Optional[Sequence[int]] = None,
+    ):
+        if not 0.0 <= max_fraction <= 1.0:
+            raise SigmundError("max_fraction must be in [0, 1]")
+        self.bucket = bucket
+        self.max_fraction = float(max_fraction)
+        self.days = tuple(days) if days is not None else None
+        self.name = f"{bucket}_fraction<={self.max_fraction}"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        picked = self._days(result, self.days)
+        requests = sum(d.requests for d in picked)
+        count = sum(d.buckets.get(self.bucket, 0) for d in picked)
+        fraction = count / requests if requests else 0.0
+        return CheckResult(
+            name=self.name,
+            passed=fraction <= self.max_fraction,
+            observed=fraction,
+            bound=self.max_fraction,
+            detail=f"{count} of {requests} requests over days "
+                   f"{[d.day for d in picked]}",
+        )
+
+
+class BreakerDiscipline(AcceptanceCheck):
+    """Breakers must have tripped during the drill and be closed by the end.
+
+    An outage that never trips a breaker means the protection slept
+    through it; a breaker still open after recovery means the half-open
+    probe path is broken.  Vacuously fails on unprotected runs (no
+    breakers, no transitions).
+    """
+
+    def __init__(self, min_transitions: int = 2):
+        self.min_transitions = int(min_transitions)
+        self.name = f"breakers_tripped>={self.min_transitions}_and_closed"
+
+    def evaluate(self, result: "ScenarioResult") -> CheckResult:
+        transitions = sum(d.breaker_transitions for d in result.day_stats)
+        final = result.day_stats[-1].open_breakers
+        passed = transitions >= self.min_transitions and final == 0
+        return CheckResult(
+            name=self.name,
+            passed=passed,
+            observed=float(transitions),
+            bound=float(self.min_transitions),
+            detail=f"{final} breakers not closed at scenario end",
+        )

@@ -1,0 +1,118 @@
+"""Scripted world events: the vocabulary scenarios are written in.
+
+A :class:`ScenarioEvent` is one timed mutation of the simulated world —
+traffic shape, catalog population, cluster health, or the data pipeline
+— applied at the *start* of its day, before any request of that day is
+served.  Events are frozen and fully declarative (kind + parameters), so
+a scenario is a pure value: replaying the same scenario always applies
+the same events at the same simulated instants.
+
+Event kinds
+-----------
+
+``set_qps``            — change the organic arrival rate (``qps``).
+``boost_retailer``     — multiply one retailer's traffic share
+                         (``retailer_id``, ``factor``): the flash-sale
+                         primitive.
+``clear_boosts``       — drop all traffic boosts (sale ends).
+``onboard_retailer``   — a new retailer joins mid-scenario
+                         (``retailer_id``, ``n_items``): cold start —
+                         traffic arrives immediately, the popularity
+                         fallback is loaded immediately, but the first
+                         personalized table publishes the *next* day.
+``merge_retailers``    — ``source`` is absorbed into ``target``: source
+                         traffic stops, the target catalog grows by the
+                         source's size and republishes.
+``fail_node``          — a serving node dies (``node_id``).
+``recover_node``       — it comes back (``node_id``).
+``bot_flood``          — ``n_bots`` scripted clients fire ``requests``
+                         cache-busting requests at ``retailer_id``
+                         during the day, on top of organic traffic.
+``drift``              — evolve every modeled retailer one step with
+                         scaled :class:`~repro.data.evolution.EvolutionSpec`
+                         rates (``new_item_rate``, ``interest_drift``,
+                         ``daily_event_fraction`` optional overrides).
+``skip_publish``       — the day's batch for ``retailer_id`` fails to
+                         publish (gate rejection / pipeline failure):
+                         the frontend expects the new version and counts
+                         every serve of the old table as stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.exceptions import SigmundError
+
+#: Every event kind the engine knows how to apply.
+EVENT_KINDS = frozenset(
+    {
+        "set_qps",
+        "boost_retailer",
+        "clear_boosts",
+        "onboard_retailer",
+        "merge_retailers",
+        "fail_node",
+        "recover_node",
+        "bot_flood",
+        "drift",
+        "skip_publish",
+    }
+)
+
+#: Kinds stripped from a scenario to build its **control run** — the
+#: counterfactual stream the CTR-invariance check compares against.
+ADVERSARIAL_KINDS = frozenset({"bot_flood"})
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed world mutation (applied at the start of ``day``)."""
+
+    day: int
+    kind: str
+    #: Sorted ``(name, value)`` pairs — a frozen mapping, so events stay
+    #: hashable and their JSON form is canonical.
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.day < 1:
+            raise SigmundError("events fire on day >= 1")
+        if self.kind not in EVENT_KINDS:
+            raise SigmundError(f"unknown event kind {self.kind!r}")
+
+    def get(self, name: str, default: object = None) -> object:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def require(self, name: str) -> object:
+        value = self.get(name, default=_MISSING)
+        if value is _MISSING:
+            raise SigmundError(
+                f"event {self.kind!r} (day {self.day}) missing parameter "
+                f"{name!r}"
+            )
+        return value
+
+    def as_dict(self) -> Mapping[str, object]:
+        return {"day": self.day, "kind": self.kind, **dict(self.params)}
+
+
+_MISSING = object()
+
+
+def event(day: int, kind: str, **params: object) -> ScenarioEvent:
+    """Build a :class:`ScenarioEvent` with canonically sorted params."""
+    return ScenarioEvent(
+        day=int(day), kind=kind, params=tuple(sorted(params.items()))
+    )
+
+
+def strip_adversarial(
+    events: Tuple[ScenarioEvent, ...]
+) -> Tuple[ScenarioEvent, ...]:
+    """The control-run script: the same world minus the attack traffic."""
+    return tuple(e for e in events if e.kind not in ADVERSARIAL_KINDS)

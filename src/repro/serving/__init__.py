@@ -20,6 +20,17 @@ from repro.serving.frontend import (
     ServingFrontend,
 )
 from repro.serving.gate import GateDecision, PublishGate
+from repro.serving.overload import (
+    AdmissionController,
+    AdmissionDecision,
+    BreakerBoard,
+    CircuitBreaker,
+    DeadlinePolicy,
+    OverloadProtection,
+    ProtectionStats,
+    ServerQueue,
+    TokenBucket,
+)
 from repro.serving.server import (
     RecommendationServer,
     ServedRecommendation,
@@ -46,4 +57,13 @@ __all__ = [
     "SimRequest",
     "TrafficGenerator",
     "zipf_weights",
+    "TokenBucket",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "ServerQueue",
+    "DeadlinePolicy",
+    "OverloadProtection",
+    "ProtectionStats",
 ]

@@ -173,6 +173,9 @@ class ServingCluster:
         self.hot_fraction = hot_fraction
         self._versions: Dict[str, int] = {}
         self.failovers = 0
+        #: Replica probes skipped for free because their circuit breaker
+        #: was open (vs. ``failovers``, each of which costs a penalty).
+        self.breaker_skips = 0
         #: Called with the retailer id after every completed batch load,
         #: so caches layered above the cluster (the frontend's response
         #: cache) can drop entries computed against the old version.
@@ -271,21 +274,43 @@ class ServingCluster:
     # ------------------------------------------------------------------
     # Lookups with failover
     # ------------------------------------------------------------------
-    def lookup(self, retailer_id: str, item_index: int) -> LookupResult:
-        """Serve one lookup, failing over across replicas as needed."""
+    def lookup(
+        self,
+        retailer_id: str,
+        item_index: int,
+        breakers=None,
+        now_ms: float = 0.0,
+    ) -> LookupResult:
+        """Serve one lookup, failing over across replicas as needed.
+
+        With a :class:`~repro.serving.overload.BreakerBoard` supplied,
+        replicas whose breaker is open are skipped *for free* (no
+        failover penalty — the whole point of tripping the breaker), and
+        every probe outcome is recorded back into the board.  Without
+        one, the walk is the original blind failover: each dead replica
+        costs :data:`FAILOVER_PENALTY_MS` on every single request.
+        """
         if retailer_id not in self._versions:
             raise ServingError(f"no data loaded for {retailer_id!r}")
         shard_id = self.shard_of(retailer_id, item_index)
         penalty = 0.0
         for node in self.replica_nodes(shard_id):
+            if breakers is not None and not breakers.allow(node.node_id, now_ms):
+                self.breaker_skips += 1
+                continue
             result = node.lookup(shard_id, (retailer_id, item_index))
             if result is not None:
+                if breakers is not None:
+                    breakers.record_success(node.node_id, now_ms)
                 result.latency_ms += penalty
                 return result
+            if breakers is not None:
+                breakers.record_failure(node.node_id, now_ms)
             self.failovers += 1
             penalty += FAILOVER_PENALTY_MS
         raise ServingError(
-            f"shard {shard_id} unavailable: all {self.replication} replicas down"
+            f"shard {shard_id} unavailable: all {self.replication} replicas "
+            "down or circuit-broken"
         )
 
     # ------------------------------------------------------------------

@@ -21,17 +21,31 @@ store — so the frontend's job is plumbing, not math:
   in-flight requests so one computation feeds every duplicate,
 * account **simulated latency** per request: the sum of cluster tier
   latencies (memory/flash plus failover penalties) plus fixed costs for
-  blending, fallback, cache hits, and coalesced waits.
+  blending, fallback, cache hits, and coalesced waits,
+* under an :class:`~repro.serving.overload.OverloadProtection` bundle,
+  survive hostile workloads: token-bucket **admission control** sheds
+  excess load to the popularity fallback before the
+  :class:`~repro.serving.overload.ServerQueue` can collapse, per-replica
+  **circuit breakers** skip dead replicas for free instead of paying the
+  blind failover walk, and per-request **deadline budgets** (bounded
+  retry + backoff, every millisecond charged) guarantee
+  ``latency_ms <= deadline_ms`` on every protected response.
+
+Every request terminates in **exactly one** serving bucket — cache,
+coalesced, fresh, stale, fallback, shed, or empty — so the counts
+conserve: their sum always equals ``requests`` (the availability
+accounting the chaos acceptance checks read).
 
 Counters (``frontend_requests_total``, ``frontend_cache_hits_total``,
 ``frontend_stale_serves_total``, ``frontend_fallback_total`` labeled by
-stage, ...) flow into a :mod:`repro.obs` metrics registry.
+stage, ``frontend_shed_total`` labeled by reason, ...) flow into a
+:mod:`repro.obs` metrics registry.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,7 +55,16 @@ from repro.exceptions import ServingError
 from repro.models.base import ScoredItem
 from repro.obs.metrics import NULL_METRICS
 from repro.rng import hash_string
-from repro.serving.cluster import FAILOVER_PENALTY_MS, ServingCluster
+from repro.serving.cluster import (
+    FAILOVER_PENALTY_MS,
+    FLASH_LATENCY_MS,
+    ServingCluster,
+)
+from repro.serving.overload import (
+    SHED_LATENCY_MS,
+    OverloadProtection,
+    ServerQueue,
+)
 from repro.serving.server import (
     DEFAULT_CONTEXT_LOOKUPS,
     ServedRecommendation,
@@ -57,14 +80,19 @@ FALLBACK_LATENCY_MS = 0.5
 #: popularity scan but pricier than a cache hit).
 RETRIEVAL_LATENCY_MS = 0.3
 
+#: Bucket bounds for the request latency histogram; the implicit +inf
+#: bucket catches queueing-collapse outliers.
+LATENCY_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0)
+QUEUE_WAIT_BUCKETS = (0.1, 1.0, 5.0, 25.0, 100.0, 500.0, 2_000.0)
+
 
 @dataclass(frozen=True)
 class FrontendResponse:
     """One answered request: recommendations plus how they were served.
 
     ``served_from`` is one of ``"fresh"``, ``"stale"``, ``"fallback"``,
-    ``"empty"``, or ``"cache"`` — the terminal stage of the fallback
-    chain that produced the payload.
+    ``"shed"``, ``"empty"``, or ``"cache"`` — the terminal stage of the
+    fallback chain that produced the payload.
     """
 
     retailer_id: str
@@ -77,24 +105,48 @@ class FrontendResponse:
     coalesced: bool = False
     fallback_stage: Optional[str] = None
     tail_augmented: int = 0
+    #: Simulated wait for a free server charged by the queue model.
+    queue_wait_ms: float = 0.0
+    #: The compute path was cut short by the deadline budget.
+    deadline_truncated: bool = False
 
 
 @dataclass
 class FrontendStats:
-    """Request-path counters (mirrored into the metrics registry)."""
+    """Request-path counters (mirrored into the metrics registry).
+
+    The seven serving buckets — ``cache_hits``, ``coalesced``,
+    ``fresh_serves``, ``stale_serves``, ``fallbacks``,
+    ``empty_responses``, ``shed`` — are **mutually exclusive and
+    exhaustive**: every request lands in exactly one, so
+    :meth:`serving_buckets` always sums to ``requests``.
+    """
 
     requests: int = 0
     cache_hits: int = 0
     coalesced: int = 0
+    fresh_serves: int = 0
     stale_serves: int = 0
     fallbacks: int = 0
     empty_responses: int = 0
+    #: Requests shed by admission control to the cheap fallback path.
+    shed: int = 0
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Requests whose compute path was truncated by the deadline budget.
+    deadline_truncated: int = 0
+    #: Bounded shard-walk retries charged with backoff.
+    retries: int = 0
+    #: Circuit breaker state transitions observed on this frontend.
+    breaker_transitions: int = 0
     tail_augmented: int = 0
     cache_evictions: int = 0
     cache_expirations: int = 0
     #: Cached responses dropped because their table version was replaced
     #: (publish/rollback) before the TTL ran out.
     cache_invalidations: int = 0
+    #: Coalesced joins refused because an invalidation landed between the
+    #: leader's computation and the follower's arrival.
+    coalesce_fenced: int = 0
     #: Tail slots filled from the retrieval index (before popularity).
     retrieval_topups: int = 0
 
@@ -103,6 +155,18 @@ class FrontendStats:
         if self.requests == 0:
             return 0.0
         return self.cache_hits / self.requests
+
+    def serving_buckets(self) -> Dict[str, int]:
+        """The exclusive terminal buckets (sum == ``requests``)."""
+        return {
+            "cache": self.cache_hits,
+            "coalesced": self.coalesced,
+            "fresh": self.fresh_serves,
+            "stale": self.stale_serves,
+            "fallback": self.fallbacks,
+            "shed": self.shed,
+            "empty": self.empty_responses,
+        }
 
 
 class PopularityFallback:
@@ -133,6 +197,10 @@ class PopularityFallback:
             [ScoredItem(int(item), float(count))
              for item, count in view_counts.items()],
         )
+
+    def drop(self, retailer_id: str) -> None:
+        """Remove a retailer's fallback list (offboarding / merges)."""
+        self._tables.pop(retailer_id, None)
 
     def has_retailer(self, retailer_id: str) -> bool:
         return retailer_id in self._tables
@@ -170,6 +238,10 @@ class ServingFrontend:
     internal clock by one millisecond per request.  TTL expiry, latency
     accounting, and the benchmark's QPS math all run on this clock, so
     identical request streams produce byte-identical results.
+
+    ``protection`` enables the overload-protection layer and ``queue``
+    the finite-server capacity model; both default to off, leaving the
+    original request path untouched.
     """
 
     def __init__(
@@ -181,6 +253,8 @@ class ServingFrontend:
         cache_capacity: int = 10_000,
         cache_ttl_ms: float = 60_000.0,
         metrics=NULL_METRICS,
+        protection: Optional[OverloadProtection] = None,
+        queue: Optional[ServerQueue] = None,
     ):
         if cache_capacity < 0:
             raise ServingError("cache_capacity must be >= 0")
@@ -193,13 +267,33 @@ class ServingFrontend:
         self.cache_capacity = cache_capacity
         self.cache_ttl_ms = cache_ttl_ms
         self.metrics = metrics
+        self.protection = protection
+        self.queue = queue
         self.stats = FrontendStats()
         self._cache: "OrderedDict[Tuple[str, int], _CacheEntry]" = OrderedDict()
         self._expected_versions: Dict[str, int] = {}
         self._now_ms = 0.0
+        #: Worst-case cost of one guarded lookup: fail over past every
+        #: replica but the last, then hit flash on it.
+        self._worst_lookup_ms = (
+            (cluster.replication - 1) * FAILOVER_PENALTY_MS + FLASH_LATENCY_MS
+        )
+        #: Minimum budget the compute path needs to finish with at least
+        #: a fallback answer without blowing a deadline.
+        self._deadline_floor_ms = (
+            self._worst_lookup_ms + BLEND_LATENCY_MS + FALLBACK_LATENCY_MS
+        )
+        if protection is not None:
+            protection.validate_for(cluster, self._deadline_floor_ms)
+            protection.breakers.on_transition = self._on_breaker_transition
         #: Published ANN adapters for request-time tail top-up, keyed by
         #: retailer (see :meth:`load_retrieval_index`).
         self._retrieval: Dict[str, object] = {}
+        #: Per-retailer invalidation epochs: bumped by every
+        #: :meth:`invalidate_retailer`, checked before a coalesced
+        #: follower may join an in-flight leader (the fence that keeps a
+        #: mid-batch publish from leaking pre-publish results).
+        self._invalidation_epochs: Dict[str, int] = {}
         # A batch load changes what every cached response for that
         # retailer should contain; subscribe so the cluster tells us
         # instead of serving stale entries until their TTL runs out.
@@ -268,6 +362,13 @@ class ServingFrontend:
     ) -> None:
         if self.cache_capacity == 0:
             return
+        current = self.cluster.version_of(key[0])
+        if current is not None and response.version not in (0, current):
+            # A publish/rollback landed while this response was being
+            # computed; inserting it would cache a table that is already
+            # retired.  The per-read version check would catch it, but
+            # there is no reason to store a known-dead entry.
+            return
         self._cache[key] = _CacheEntry(
             response=response, inserted_ms=now_ms, version=response.version
         )
@@ -278,7 +379,15 @@ class ServingFrontend:
             self.metrics.counter("frontend_cache_evicted_total").inc()
 
     def invalidate_retailer(self, retailer_id: str) -> int:
-        """Drop a retailer's cached responses (call after a batch load)."""
+        """Drop a retailer's cached responses (call after a batch load).
+
+        Also bumps the retailer's invalidation epoch, fencing in-flight
+        coalesced leaders: a follower arriving after the bump recomputes
+        instead of receiving the leader's pre-publish result.
+        """
+        self._invalidation_epochs[retailer_id] = (
+            self._invalidation_epochs.get(retailer_id, 0) + 1
+        )
         doomed = [key for key in self._cache if key[0] == retailer_id]
         for key in doomed:
             del self._cache[key]
@@ -319,6 +428,8 @@ class ServingFrontend:
         context: UserContext,
         k: int = 10,
         now_ms: Optional[float] = None,
+        client_id: Optional[object] = None,
+        priority: str = "normal",
     ) -> FrontendResponse:
         """Answer one request; never raises on a degraded retailer."""
         now = self._advance_clock(now_ms)
@@ -329,21 +440,10 @@ class ServingFrontend:
         key = self.cache_key(retailer_id, context, k)
         cached = self._cache_get(key, now)
         if cached is not None:
-            self.stats.cache_hits += 1
-            self.metrics.counter(
-                "frontend_cache_hits_total", retailer=retailer_id
-            ).inc()
-            response = replace(
-                cached,
-                latency_ms=CACHE_HIT_LATENCY_MS,
-                served_from="cache",
-                cache_hit=True,
-                coalesced=False,
-            )
-            self._observe_latency(response)
-            return response
-        response = self._compute(retailer_id, context, k)
-        self._cache_put(key, response, now)
+            return self._serve_cached(retailer_id, cached)
+        response = self._serve_uncached(
+            retailer_id, context, k, now, key, client_id, priority
+        )
         self._observe_latency(response)
         return response
 
@@ -352,6 +452,8 @@ class ServingFrontend:
         requests: Sequence[Tuple[str, UserContext]],
         k: int = 10,
         now_ms: Optional[float] = None,
+        client_ids: Optional[Sequence[object]] = None,
+        priority: str = "normal",
     ) -> List[FrontendResponse]:
         """Answer a batch of concurrent requests, coalescing duplicates.
 
@@ -360,11 +462,18 @@ class ServingFrontend:
         (the leader's response is not cached yet when the duplicate
         arrives), so it attaches to the leader's in-flight computation
         and pays only a coalesced-wait latency.
+
+        A follower only joins a leader whose invalidation epoch is still
+        current: if a publish or rollback landed between the leader's
+        computation and the follower's arrival, the follower recomputes
+        against the new table instead of inheriting a retired result.
         """
         now = self._advance_clock(now_ms)
-        leaders: Dict[Tuple[str, int], FrontendResponse] = {}
+        # leader entries: key -> (response, invalidation epoch at start)
+        leaders: Dict[Tuple[str, int], Tuple[FrontendResponse, int]] = {}
         responses: List[Optional[FrontendResponse]] = [None] * len(requests)
         for position, (retailer_id, context) in enumerate(requests):
+            client_id = client_ids[position] if client_ids is not None else None
             self.stats.requests += 1
             self.metrics.counter(
                 "frontend_requests_total", retailer=retailer_id
@@ -372,44 +481,150 @@ class ServingFrontend:
             key = self.cache_key(retailer_id, context, k)
             leader = leaders.get(key)
             if leader is not None:
-                self.stats.coalesced += 1
+                leader_response, leader_epoch = leader
+                if leader_epoch == self._invalidation_epochs.get(retailer_id, 0):
+                    self.stats.coalesced += 1
+                    self.metrics.counter(
+                        "frontend_coalesced_total", retailer=retailer_id
+                    ).inc()
+                    follower = replace(
+                        leader_response,
+                        latency_ms=leader_response.latency_ms
+                        + COALESCED_LATENCY_MS,
+                        coalesced=True,
+                    )
+                    responses[position] = follower
+                    self._observe_latency(follower)
+                    continue
+                # Fenced: the table moved mid-flight; this request
+                # becomes the new leader against the fresh version.
+                self.stats.coalesce_fenced += 1
                 self.metrics.counter(
-                    "frontend_coalesced_total", retailer=retailer_id
+                    "frontend_coalesce_fenced_total", retailer=retailer_id
                 ).inc()
-                follower = replace(
-                    leader,
-                    latency_ms=leader.latency_ms + COALESCED_LATENCY_MS,
-                    coalesced=True,
-                )
-                responses[position] = follower
-                self._observe_latency(follower)
-                continue
+                del leaders[key]
             cached = self._cache_get(key, now)
             if cached is not None:
-                self.stats.cache_hits += 1
-                self.metrics.counter(
-                    "frontend_cache_hits_total", retailer=retailer_id
-                ).inc()
-                response = replace(
-                    cached,
-                    latency_ms=CACHE_HIT_LATENCY_MS,
-                    served_from="cache",
-                    cache_hit=True,
-                    coalesced=False,
-                )
-            else:
-                response = self._compute(retailer_id, context, k)
-                self._cache_put(key, response, now)
-            leaders[key] = response
+                response = self._serve_cached(retailer_id, cached)
+                responses[position] = response
+                continue
+            epoch = self._invalidation_epochs.get(retailer_id, 0)
+            response = self._serve_uncached(
+                retailer_id, context, k, now, key, client_id, priority
+            )
+            leaders[key] = (response, epoch)
             responses[position] = response
             self._observe_latency(response)
         return [r for r in responses if r is not None]
+
+    def _serve_cached(
+        self, retailer_id: str, cached: FrontendResponse
+    ) -> FrontendResponse:
+        self.stats.cache_hits += 1
+        self.metrics.counter(
+            "frontend_cache_hits_total", retailer=retailer_id
+        ).inc()
+        response = replace(
+            cached,
+            latency_ms=CACHE_HIT_LATENCY_MS,
+            served_from="cache",
+            cache_hit=True,
+            coalesced=False,
+            queue_wait_ms=0.0,
+        )
+        self._observe_latency(response)
+        return response
+
+    def _serve_uncached(
+        self,
+        retailer_id: str,
+        context: UserContext,
+        k: int,
+        now: float,
+        key: Tuple[str, int],
+        client_id: Optional[object],
+        priority: str,
+    ) -> FrontendResponse:
+        """Admission -> queue -> deadline-budgeted compute -> cache."""
+        budget: Optional[float] = None
+        wait = 0.0
+        if self.protection is not None:
+            decision = self.protection.admission.admit(now, client_id, priority)
+            if not decision.admitted:
+                return self._shed_response(
+                    retailer_id, context, k, decision.reason
+                )
+            deadline = self.protection.deadline.deadline_ms
+            if self.queue is not None:
+                wait = self.queue.wait_time(now)
+                if deadline - wait < self._deadline_floor_ms:
+                    # Queuing for a slot would blow the deadline; shed
+                    # to the cheap path instead of joining the backlog.
+                    return self._shed_response(
+                        retailer_id, context, k, "queue_full"
+                    )
+            budget = deadline - wait
+        response = self._compute(retailer_id, context, k, now, budget)
+        if self.queue is not None:
+            wait = self.queue.occupy(now, response.latency_ms)
+            if wait > 0.0:
+                self.metrics.histogram(
+                    "frontend_queue_wait_ms", buckets=QUEUE_WAIT_BUCKETS
+                ).observe(wait)
+            response = replace(
+                response,
+                latency_ms=response.latency_ms + wait,
+                queue_wait_ms=wait,
+            )
+        self._cache_put(key, response, now)
+        return response
+
+    def _shed_response(
+        self, retailer_id: str, context: UserContext, k: int, reason: str
+    ) -> FrontendResponse:
+        """Admission shed: popularity fallback on the cheap path.
+
+        Shed requests never touch the cluster and never occupy a queue
+        server — that is the protection.  The payload is still a full
+        page whenever a fallback table exists.
+        """
+        self.stats.shed += 1
+        self.stats.shed_by_reason[reason] = (
+            self.stats.shed_by_reason.get(reason, 0) + 1
+        )
+        if self.protection is not None:
+            self.protection.stats.shed += 1
+            self.protection.stats.shed_by_reason[reason] = (
+                self.protection.stats.shed_by_reason.get(reason, 0) + 1
+            )
+        self.metrics.counter("frontend_shed_total", reason=reason).inc()
+        items: List[ScoredItem] = []
+        if self.fallback is not None:
+            items = self.fallback.recommend(
+                retailer_id, set(context.item_indices), k
+            )
+        version = self.cluster.version_of(retailer_id) or 0
+        return FrontendResponse(
+            retailer_id=retailer_id,
+            recommendations=tuple(
+                ServedRecommendation(s.item_index, s.score, -1) for s in items
+            ),
+            latency_ms=SHED_LATENCY_MS,
+            served_from="shed",
+            version=version,
+            fallback_stage=reason,
+        )
 
     # ------------------------------------------------------------------
     # The fallback chain
     # ------------------------------------------------------------------
     def _compute(
-        self, retailer_id: str, context: UserContext, k: int
+        self,
+        retailer_id: str,
+        context: UserContext,
+        k: int,
+        now: float = 0.0,
+        budget_ms: Optional[float] = None,
     ) -> FrontendResponse:
         version = self.cluster.version_of(retailer_id)
         if version is None:
@@ -424,20 +639,55 @@ class ServingFrontend:
 
         latency = 0.0
         degraded = False
+        truncated = False
+        breakers = self.protection.breakers if self.protection else None
+        max_retries = (
+            self.protection.deadline.max_retries if self.protection else 0
+        )
+        #: Budget that must stay reserved past the lookup phase: the
+        #: blend constant plus a terminal fallback answer.
+        reserve = BLEND_LATENCY_MS + FALLBACK_LATENCY_MS
+
+        def within_budget(cost: float) -> bool:
+            return (
+                budget_ms is None or latency + cost + reserve <= budget_ms
+            )
 
         def recs_for(item: int) -> List[ScoredItem]:
-            nonlocal latency, degraded
-            try:
-                result = self.cluster.lookup(retailer_id, item)
-            except ServingError:
-                # Every replica of this item's shard is down; charge the
-                # full failed failover walk and move on with nothing —
-                # the remaining lookups (and the chain) still serve.
-                degraded = True
-                latency += self.cluster.replication * FAILOVER_PENALTY_MS
-                return []
-            latency += result.latency_ms
-            return result.recommendations
+            nonlocal latency, degraded, truncated
+            attempt = 0
+            while True:
+                if not within_budget(self._worst_lookup_ms):
+                    truncated = True
+                    return []
+                failovers_before = self.cluster.failovers
+                try:
+                    result = self.cluster.lookup(
+                        retailer_id, item, breakers=breakers, now_ms=now
+                    )
+                except ServingError:
+                    # Every reachable replica of this item's shard failed;
+                    # charge exactly the probes that were walked (open
+                    # breakers were skipped for free) and either retry
+                    # with backoff or move on with nothing — the
+                    # remaining lookups (and the chain) still serve.
+                    degraded = True
+                    probed = self.cluster.failovers - failovers_before
+                    latency += probed * FAILOVER_PENALTY_MS
+                    if attempt < max_retries:
+                        backoff = self.protection.deadline.backoff_for(attempt)
+                        if within_budget(backoff + self._worst_lookup_ms):
+                            latency += backoff
+                            attempt += 1
+                            self.stats.retries += 1
+                            self.protection.stats.retries += 1
+                            self.metrics.counter(
+                                "frontend_retries_total"
+                            ).inc()
+                            continue
+                    return []
+                latency += result.latency_ms
+                return result.recommendations
 
         recent = list(zip(context.item_indices, context.events))
         recent = recent[-self.context_lookups:]
@@ -445,9 +695,19 @@ class ServingFrontend:
             recent, recs_for, self.recency_decay, set(context.item_indices), k
         )
         latency += BLEND_LATENCY_MS
+        if truncated:
+            self.stats.deadline_truncated += 1
+            if self.protection is not None:
+                self.protection.stats.deadline_truncated += 1
+            self.metrics.counter("frontend_deadline_truncated_total").inc()
 
         if not recommendations:
-            stage = "degraded" if degraded else "no_results"
+            if truncated:
+                stage = "deadline"
+            elif degraded:
+                stage = "degraded"
+            else:
+                stage = "no_results"
             return self._fallback_response(
                 retailer_id, context, k, stage=stage,
                 base_latency=latency, version=version,
@@ -461,11 +721,17 @@ class ServingFrontend:
             # from precomputed tables alone; thin tail results are topped
             # up so every page is full — personalized neighbours from the
             # retrieval index first, popularity for whatever remains.
+            # Under deadline pressure the top-ups are the first work to
+            # be skipped: a slightly short page beats a blown deadline.
             exclude = set(context.item_indices)
             exclude.update(rec.item_index for rec in recommendations)
             floor = recommendations[-1].score
             extras: List[ScoredItem] = []
-            if index is not None:
+            if index is not None and (
+                budget_ms is None
+                or latency + RETRIEVAL_LATENCY_MS + FALLBACK_LATENCY_MS
+                <= budget_ms
+            ):
                 extras = self._retrieval_extras(context, exclude, need, index)
                 if extras:
                     latency += RETRIEVAL_LATENCY_MS
@@ -474,7 +740,12 @@ class ServingFrontend:
                     self.metrics.counter(
                         "frontend_retrieval_topup_total", retailer=retailer_id
                     ).inc(len(extras))
-            if len(extras) < need and self.fallback is not None:
+            if (
+                len(extras) < need
+                and self.fallback is not None
+                and (budget_ms is None
+                     or latency + FALLBACK_LATENCY_MS <= budget_ms)
+            ):
                 popular = self.fallback.recommend(
                     retailer_id, exclude, need - len(extras)
                 )
@@ -505,6 +776,11 @@ class ServingFrontend:
             self.metrics.counter(
                 "frontend_stale_serves_total", retailer=retailer_id
             ).inc()
+        else:
+            self.stats.fresh_serves += 1
+            self.metrics.counter(
+                "frontend_fresh_serves_total", retailer=retailer_id
+            ).inc()
         return FrontendResponse(
             retailer_id=retailer_id,
             recommendations=tuple(recommendations),
@@ -513,6 +789,7 @@ class ServingFrontend:
             version=version,
             stale=stale,
             tail_augmented=tail_augmented,
+            deadline_truncated=truncated,
         )
 
     def _retrieval_extras(
@@ -552,9 +829,12 @@ class ServingFrontend:
         base_latency: float,
         version: int = 0,
     ) -> FrontendResponse:
-        """Terminal chain stages: popularity fallback, then empty."""
-        self.stats.fallbacks += 1
-        self.metrics.counter("frontend_fallback_total", stage=stage).inc()
+        """Terminal chain stages: popularity fallback, then empty.
+
+        Exactly one bucket is charged: ``fallbacks`` when the popularity
+        table produced a page, ``empty_responses`` when it could not —
+        never both (the conservation invariant the chaos checks audit).
+        """
         latency = base_latency + FALLBACK_LATENCY_MS
         items: List[ScoredItem] = []
         if self.fallback is not None:
@@ -572,6 +852,8 @@ class ServingFrontend:
                 version=version,
                 fallback_stage=stage,
             )
+        self.stats.fallbacks += 1
+        self.metrics.counter("frontend_fallback_total", stage=stage).inc()
         return FrontendResponse(
             retailer_id=retailer_id,
             recommendations=tuple(
@@ -593,9 +875,17 @@ class ServingFrontend:
             self._now_ms = float(now_ms)
         return self._now_ms
 
+    def _on_breaker_transition(self, node_id: int, old: str, new: str) -> None:
+        self.stats.breaker_transitions += 1
+        if self.protection is not None:
+            self.protection.stats.breaker_transitions += 1
+        self.metrics.counter(
+            "serving_breaker_transitions_total", to_state=new
+        ).inc()
+
     def _observe_latency(self, response: FrontendResponse) -> None:
         self.metrics.histogram(
             "frontend_latency_ms",
-            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0),
+            buckets=LATENCY_BUCKETS,
             served=response.served_from,
         ).observe(response.latency_ms)

@@ -98,15 +98,89 @@ class TrafficGenerator:
         self.n_users = int(n_users)
         self.user_exponent = float(user_exponent)
         self.item_exponent = float(item_exponent)
+        self.retailer_exponent = float(retailer_exponent)
         self.qps = float(qps)
         self.max_context = int(max_context)
         self.seed = int(seed)
         self._rng = make_rng(derive_seed(self.seed, "traffic"))
-        self._retailer_weights = zipf_weights(
-            len(self.retailers), retailer_exponent
-        )
+        #: Scenario-driven multiplicative traffic boosts (flash sales).
+        self._boosts: Dict[str, float] = {}
+        self._retailer_weights = self._compute_weights()
         self._clock_ms = 0.0
         self._context_cache: Dict[Tuple[str, int], UserContext] = {}
+
+    def _compute_weights(self) -> np.ndarray:
+        weights = zipf_weights(len(self.retailers), self.retailer_exponent)
+        if self._boosts:
+            weights = weights * np.array(
+                [self._boosts.get(rid, 1.0) for rid in self.retailers]
+            )
+            weights = weights / weights.sum()
+        return weights
+
+    # ------------------------------------------------------------------
+    # Scenario hooks (world events over the traffic shape)
+    # ------------------------------------------------------------------
+    def set_qps(self, qps: float) -> None:
+        """Change the arrival rate (takes effect on the next request)."""
+        if qps <= 0:
+            raise SigmundError("qps must be > 0")
+        self.qps = float(qps)
+
+    def set_retailer_boost(self, retailer_id: str, factor: float) -> None:
+        """Multiply one retailer's traffic share (flash-sale spikes)."""
+        if retailer_id not in self.catalog_sizes:
+            raise SigmundError(f"unknown retailer {retailer_id!r}")
+        if factor <= 0:
+            raise SigmundError("boost factor must be > 0")
+        self._boosts[retailer_id] = float(factor)
+        self._retailer_weights = self._compute_weights()
+
+    def clear_boosts(self) -> None:
+        self._boosts.clear()
+        self._retailer_weights = self._compute_weights()
+
+    def add_retailer(self, retailer_id: str, catalog_size: int) -> None:
+        """Onboard a retailer mid-stream (cold-start waves)."""
+        if retailer_id in self.catalog_sizes:
+            raise SigmundError(f"retailer {retailer_id!r} already present")
+        if catalog_size < 1:
+            raise SigmundError("catalog_size must be >= 1")
+        self.catalog_sizes[retailer_id] = int(catalog_size)
+        self.retailers = sorted(
+            self.catalog_sizes,
+            key=lambda rid: (-self.catalog_sizes[rid], rid),
+        )
+        self._retailer_weights = self._compute_weights()
+
+    def remove_retailer(self, retailer_id: str) -> None:
+        """Offboard a retailer (catalog merges); its traffic redistributes."""
+        if retailer_id not in self.catalog_sizes:
+            raise SigmundError(f"unknown retailer {retailer_id!r}")
+        if len(self.catalog_sizes) == 1:
+            raise SigmundError("cannot remove the last retailer")
+        del self.catalog_sizes[retailer_id]
+        self._boosts.pop(retailer_id, None)
+        self.retailers = [r for r in self.retailers if r != retailer_id]
+        self._retailer_weights = self._compute_weights()
+
+    def resize_retailer(self, retailer_id: str, catalog_size: int) -> None:
+        """Grow/shrink a catalog in place (merges, bulk imports).
+
+        Rank order may change, which shifts traffic shares — exactly what
+        a merged catalog does.  Cached contexts stay valid: their items
+        were sampled inside the old (smaller) catalog.
+        """
+        if retailer_id not in self.catalog_sizes:
+            raise SigmundError(f"unknown retailer {retailer_id!r}")
+        if catalog_size < 1:
+            raise SigmundError("catalog_size must be >= 1")
+        self.catalog_sizes[retailer_id] = int(catalog_size)
+        self.retailers = sorted(
+            self.catalog_sizes,
+            key=lambda rid: (-self.catalog_sizes[rid], rid),
+        )
+        self._retailer_weights = self._compute_weights()
 
     # ------------------------------------------------------------------
     # Sampling

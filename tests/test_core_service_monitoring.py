@@ -287,3 +287,71 @@ class TestRepurchaseSurface:
         assert service.repurchase_recommendations(
             service.retailers[0], 10 ** 9
         ) == []
+
+
+class TestServingWindowAccounting:
+    """Serving availability accounting: every request lands in exactly
+    one bucket, and the monitor rejects any ledger that says otherwise."""
+
+    BUCKETS = {
+        "cache": 20, "coalesced": 5, "fresh": 60, "stale": 6,
+        "fallback": 5, "shed": 3, "empty": 1,
+    }
+
+    def test_conserved_window_accepted(self):
+        monitor = QualityMonitor()
+        window = monitor.record_serving_window(1, 100, dict(self.BUCKETS))
+        assert window.availability == pytest.approx(0.99)
+        assert monitor.serving_window(1) is window
+        assert monitor.alerts_for_day(1) == []
+
+    def test_degraded_fraction(self):
+        monitor = QualityMonitor()
+        window = monitor.record_serving_window(1, 100, dict(self.BUCKETS))
+        # stale + fallback + shed + empty = 15 of 100.
+        assert window.degraded_fraction == pytest.approx(0.15)
+
+    def test_double_count_rejected(self):
+        buckets = dict(self.BUCKETS)
+        buckets["stale"] += 4  # a serve counted in two buckets
+        with pytest.raises(ValueError, match="double-count or gap"):
+            QualityMonitor().record_serving_window(1, 100, buckets)
+
+    def test_gap_rejected(self):
+        buckets = dict(self.BUCKETS)
+        buckets["fallback"] -= 2  # a serve counted nowhere
+        with pytest.raises(ValueError, match="double-count or gap"):
+            QualityMonitor().record_serving_window(1, 100, buckets)
+
+    def test_unknown_bucket_rejected(self):
+        buckets = dict(self.BUCKETS)
+        buckets["degraded"] = 0
+        with pytest.raises(ValueError, match="unknown serving bucket"):
+            QualityMonitor().record_serving_window(1, 100, buckets)
+
+    def test_negative_count_rejected(self):
+        buckets = dict(self.BUCKETS)
+        buckets["empty"] = -1
+        buckets["fresh"] += 2
+        with pytest.raises(ValueError, match="negative"):
+            QualityMonitor().record_serving_window(1, 100, buckets)
+
+    def test_availability_floor_alert(self):
+        monitor = QualityMonitor()
+        buckets = dict(self.BUCKETS)
+        window = monitor.record_serving_window(
+            1, 100, buckets, availability_floor=0.995
+        )
+        assert window.availability == pytest.approx(0.99)
+        alerts = monitor.alerts_for_day(1)
+        assert len(alerts) == 1
+        assert alerts[0].metric == "serving_availability"
+        assert alerts[0].stage == "serving"
+        assert alerts[0].kind == "failure"
+
+    def test_floor_met_no_alert(self):
+        monitor = QualityMonitor()
+        monitor.record_serving_window(
+            1, 100, dict(self.BUCKETS), availability_floor=0.99
+        )
+        assert monitor.alerts_for_day(1) == []

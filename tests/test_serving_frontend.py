@@ -431,3 +431,85 @@ class TestRetrievalTopup:
             (r.item_index, r.score) for r in a.recommendations
         ] == [(r.item_index, r.score) for r in b.recommendations]
         assert a.latency_ms == b.latency_ms
+
+
+class _PublishDuringLookupCluster(ServingCluster):
+    """Fires a queued publish from inside a lookup (mid-flight publish)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.publish_on_next_lookup = None
+
+    def lookup(self, retailer_id, item_index, breakers=None, now_ms=0.0):
+        result = super().lookup(
+            retailer_id, item_index, breakers=breakers, now_ms=now_ms
+        )
+        if self.publish_on_next_lookup is not None:
+            rid, recs, version = self.publish_on_next_lookup
+            self.publish_on_next_lookup = None
+            self.load_batch(rid, recs, version)
+        return result
+
+
+class TestCoalescingInvalidationFence:
+    """A publish landing between leader start and follower join must
+    fence the leader: the follower recomputes against the new table
+    instead of inheriting a pre-publish result."""
+
+    def make_racing_frontend(self):
+        cluster = _PublishDuringLookupCluster(
+            n_nodes=4, n_shards=16, replication=2, hot_fraction=0.2
+        )
+        cluster.load_batch("shop", table(), version=1)
+        frontend = ServingFrontend(cluster, fallback=make_fallback())
+        cluster.publish_on_next_lookup = ("shop", table(), 2)
+        return cluster, frontend
+
+    def test_follower_never_receives_pre_publish_result(self):
+        _, frontend = self.make_racing_frontend()
+        leader, follower = frontend.request_batch(
+            [("shop", ctx(1, 2)), ("shop", ctx(1, 2))], k=5
+        )
+        # The leader computed against v1; the publish landed mid-flight.
+        assert leader.version == 1
+        assert not follower.coalesced
+        assert follower.version == 2
+        assert frontend.stats.coalesce_fenced == 1
+        assert frontend.stats.coalesced == 0
+
+    def test_fence_scoped_to_the_invalidated_retailer(self):
+        cluster = _PublishDuringLookupCluster(
+            n_nodes=4, n_shards=16, replication=2, hot_fraction=0.2
+        )
+        cluster.load_batch("shop", table(), version=1)
+        cluster.load_batch("other", table(), version=1)
+        frontend = ServingFrontend(
+            cluster, fallback=make_fallback(("shop", "other"))
+        )
+        # The mid-flight publish hits "shop"; "other" coalesces freely.
+        cluster.publish_on_next_lookup = ("shop", table(), 2)
+        responses = frontend.request_batch(
+            [("other", ctx(1)), ("shop", ctx(2)), ("other", ctx(1))], k=5
+        )
+        assert responses[2].coalesced
+        assert frontend.stats.coalesce_fenced == 0
+
+    def test_pre_publish_result_never_enters_the_cache(self):
+        _, frontend = self.make_racing_frontend()
+        frontend.request_batch([("shop", ctx(1, 2))], k=5)
+        # The leader's v1 response must not be cached under v2.
+        followup = frontend.request("shop", ctx(1, 2), k=5)
+        assert not followup.cache_hit
+        assert followup.version == 2
+
+    def test_fenced_follower_becomes_new_leader(self):
+        _, frontend = self.make_racing_frontend()
+        responses = frontend.request_batch(
+            [("shop", ctx(1, 2)), ("shop", ctx(1, 2)), ("shop", ctx(1, 2))],
+            k=5,
+        )
+        # Request 2 re-led after the fence; request 3 coalesces onto it.
+        assert responses[1].version == 2
+        assert responses[2].coalesced and responses[2].version == 2
+        assert frontend.stats.coalesce_fenced == 1
+        assert frontend.stats.coalesced == 1
