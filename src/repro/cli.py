@@ -17,6 +17,10 @@ Commands:
 * ``chaos`` — run a scripted chaos drill (flash sale, bot flood, cell
   outage, ...) against the overload-protected serving stack and print
   the machine-checkable verdict.
+* ``run-day`` — run the daily loop under the declarative DAG
+  orchestrator (or ``--serial`` for the imperative reference path),
+  optionally rerunning only ``--blocks`` of the last day's graph, and
+  print per-block schedules and the sealed day record.
 """
 
 from __future__ import annotations
@@ -140,6 +144,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--out", default=None,
         help="also write the canonical verdict JSON to this path",
+    )
+
+    run_day = commands.add_parser(
+        "run-day",
+        help="daily loop under the declarative DAG orchestrator",
+    )
+    run_day.add_argument("--retailers", type=int, default=3)
+    run_day.add_argument("--days", type=int, default=2)
+    run_day.add_argument("--median-items", type=int, default=80)
+    run_day.add_argument("--seed", type=int, default=0)
+    run_day.add_argument(
+        "--serial", action="store_true",
+        help="use the imperative serial reference path instead of the "
+             "DAG runner (outputs are identical either way)",
+    )
+    run_day.add_argument(
+        "--max-parallelism", type=int, default=1,
+        help="DAG scheduler lanes; independent retailers' blocks "
+             "overlap on the simulated clock when > 1",
+    )
+    run_day.add_argument(
+        "--blocks", default=None,
+        help="comma-separated block names or families (e.g. "
+             "'train/r0,retrieval/r0' or 'train') — the LAST day runs "
+             "only the closure of this selection, then recovery "
+             "completes and commits it; requires the DAG path",
+    )
+    run_day.add_argument(
+        "--schedule", action="store_true",
+        help="print each day's per-block (start, finish, lane) schedule",
+    )
+    run_day.add_argument(
+        "--seal-out", default=None,
+        help="write the final day's sealed metrics record to this path "
+             "as canonical sorted-keys JSON",
     )
     return parser
 
@@ -412,6 +451,73 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if verdict["passed"] else 1
 
 
+def cmd_run_day(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry
+
+    service = SigmundService(
+        build_cluster(n_cells=2, machines_per_cell=6),
+        grid=GridSpec.small(),
+        settings=TrainerSettings(
+            max_epochs_full=3, max_epochs_incremental=2, sampler="uniform"
+        ),
+        seed=args.seed,
+        metrics=MetricsRegistry(),
+        orchestration="serial" if args.serial else "dag",
+        max_parallelism=args.max_parallelism,
+    )
+    fleet = generate_marketplace(
+        MarketplaceSpec(
+            n_retailers=args.retailers,
+            median_items=args.median_items,
+            seed=args.seed,
+        )
+    )
+    for retailer in fleet:
+        service.onboard(dataset_from_synthetic(retailer))
+        print(f"onboarded {retailer.retailer_id} ({retailer.n_items} items)")
+    blocks = (
+        [token.strip() for token in args.blocks.split(",") if token.strip()]
+        if args.blocks
+        else None
+    )
+    for day_index in range(args.days):
+        if blocks and day_index == args.days - 1:
+            service.run_day(blocks=blocks)
+            partial = service.last_dag_run
+            counts = ", ".join(
+                f"{status}={n}"
+                for status, n in sorted(partial.status_counts().items())
+            )
+            print(f"day {day_index} partial ({args.blocks}): {counts}")
+            report = service.recover()
+        else:
+            report = service.run_day()
+        print(
+            f"day {report.day}: sweep={report.sweep_kind} "
+            f"models={report.configs_trained} "
+            f"served={report.retailers_served} "
+            f"cost={report.total_cost:.4f}"
+        )
+        if args.schedule and service.last_dag_run is not None:
+            result = service.last_dag_run
+            for run in result.schedule():
+                lane = "-" if run.lane is None else run.lane
+                print(
+                    f"  [{run.start:8.2f} -> {run.finish:8.2f}] "
+                    f"lane={lane} {run.name} ({run.status})"
+                )
+            print(f"  makespan={result.makespan:.2f}s")
+    if args.seal_out:
+        last_day = service.journal.committed_days()[-1]
+        seal = service.journal.day_seal(last_day)
+        with open(args.seal_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(seal, sort_keys=True, indent=2))
+        print(f"wrote day {last_day} seal to {args.seal_out}")
+    return 0
+
+
 COMMANDS = {
     "demo": cmd_demo,
     "service": cmd_service,
@@ -421,6 +527,7 @@ COMMANDS = {
     "serve-bench": cmd_serve_bench,
     "retrieval-bench": cmd_retrieval_bench,
     "chaos": cmd_chaos,
+    "run-day": cmd_run_day,
 }
 
 

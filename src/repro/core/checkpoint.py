@@ -471,6 +471,21 @@ class CheckpointManager:
         self._meta.pop(key, None)
         self._last_written.pop(key, None)
 
+    def discard_matching(self, match: Callable[[str], bool]) -> int:
+        """Discard every stored checkpoint whose key matches.
+
+        The offboarding path: checkpoint keys embed the retailer id
+        (``day<d>/<rid>/m<n>``), and a departed tenant's model state must
+        not survive in the checkpoint store — nor be restorable by a
+        recovered day.  Returns how many blobs were dropped.
+        """
+        dropped = 0
+        for key in list(self.storage.keys()):
+            if match(key):
+                self.discard(key)
+                dropped += 1
+        return dropped
+
     @property
     def stored_count(self) -> int:
         return len(self.storage.keys())

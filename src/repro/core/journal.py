@@ -40,7 +40,7 @@ class JournalEntry:
     """One journal record: begin / task-completion / commit."""
 
     day: int
-    kind: str  # "begin" | "task" | "commit"
+    kind: str  # "begin" | "task" | "commit" | "purge"
     phase: str = ""  # for tasks: "train" | "inference_plan" | "infer_cell" | "publish"
     task_id: str = ""
     payload: Dict[str, object] = field(default_factory=dict)
@@ -119,6 +119,33 @@ class RunJournal:
             JournalEntry(day=day, kind="commit", payload=seal or {})
         )
 
+    def purge_tasks(self, day, match) -> int:
+        """Drop completed tasks of an *open* day matching a predicate.
+
+        ``match(phase, task_id)`` picks the records to forget; returns
+        how many were dropped.  This exists for offboarding: a retailer
+        leaving mid-crash must not be resurrected when :meth:`recover`
+        replays the open day, and the privacy framing forbids keeping its
+        journaled payloads (they carry model state and result tables)
+        alive at all.  Purging a committed day raises — its seal is the
+        immutable record of what happened.
+        """
+        if day not in self._begun:
+            return 0
+        if self._committed.get(day):
+            raise JournalError(
+                f"day {day} is committed; its record is immutable"
+            )
+        purged = 0
+        for phase, tasks in self._done.get(day, {}).items():
+            for task_id in [t for t in tasks if match(phase, t)]:
+                del tasks[task_id]
+                self.entries.append(
+                    JournalEntry(day=day, kind="purge", phase=phase, task_id=task_id)
+                )
+                purged += 1
+        return purged
+
     # ------------------------------------------------------------------
     # Reading (the recovery path)
     # ------------------------------------------------------------------
@@ -151,6 +178,10 @@ class RunJournal:
 
     def is_committed(self, day: int) -> bool:
         return bool(self._committed.get(day))
+
+    def committed_days(self) -> List[int]:
+        """Every committed day, ascending (backfills target the latest)."""
+        return sorted(day for day in self._begun if self._committed.get(day))
 
     def day_seal(self, day: int) -> Dict[str, object]:
         """The seal committed with ``day`` (raises when none exists)."""

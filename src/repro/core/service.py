@@ -43,6 +43,14 @@ from repro.core.recovery import CrashPlan
 from repro.core.registry import ModelRegistry
 from repro.core.sweep import SweepPlanner
 from repro.core.training import PipelineStats, TrainerSettings, TrainingPipeline
+from repro.dag.dayplan import (
+    BackfillState,
+    DayState,
+    build_backfill_graph,
+    build_day_graph,
+    build_selection,
+)
+from repro.dag.runner import GraphRunner, GraphRunResult
 from repro.data.datasets import RetailerDataset
 from repro.exceptions import DataError, SigmundError
 from repro.mapreduce.runtime import FaultPlan
@@ -131,7 +139,28 @@ class SigmundService:
         retrieval_recall_target: float = 0.95,
         n_workers: int = 0,
         executor=None,
+        orchestration: str = "serial",
+        max_parallelism: int = 1,
     ):
+        if orchestration not in ("serial", "dag"):
+            raise SigmundError(
+                f"orchestration must be 'serial' or 'dag', got {orchestration!r}"
+            )
+        if max_parallelism < 1:
+            raise SigmundError(
+                f"max_parallelism must be >= 1, got {max_parallelism}"
+            )
+        #: How the daily run is driven: "serial" is the imperative
+        #: reference sequence; "dag" schedules the same blocks through
+        #: :class:`~repro.dag.runner.GraphRunner` with up to
+        #: ``max_parallelism`` lanes (and enables ``--blocks`` partial
+        #: reruns).  Both paths are pinned byte-identical on the day seal
+        #: by tests/test_dag_recovery.py.
+        self.orchestration = orchestration
+        self.max_parallelism = max_parallelism
+        #: The block-level outcome of the most recent DAG-driven day (or
+        #: backfill); None before the first and under serial orchestration.
+        self.last_dag_run: Optional[GraphRunResult] = None
         self.cluster = cluster
         #: Process-level observability (None -> the zero-overhead nulls).
         #: Day-scoped metrics live in per-day registries built inside
@@ -232,7 +261,12 @@ class SigmundService:
         Besides the dataset and registry entries, this purges the serving
         tables and the re-purchase detector — all of them are derived from
         the tenant's interaction data, and the store's privacy framing
-        forbids keeping any of it alive after departure.
+        forbids keeping any of it alive after departure.  The open day's
+        journal records and the retailer's checkpoints are purged too:
+        without that, a retailer offboarded mid-crash was resurrected by
+        :meth:`recover` (its journaled train/publish payloads replayed
+        into the report, and its model state lingered in the checkpoint
+        store).
         """
         self._datasets.pop(retailer_id, None)
         self.registry.drop_retailer(retailer_id)
@@ -240,6 +274,44 @@ class SigmundService:
         self.accessories_store.drop_retailer(retailer_id)
         self.retrieval_store.drop_retailer(retailer_id)
         self._repurchase.pop(retailer_id, None)
+        self._purge_journal(retailer_id)
+        self.training.checkpoints.discard_matching(
+            lambda key: retailer_id in key.split("/")[1:2]
+        )
+
+    def _purge_journal(self, retailer_id: str) -> None:
+        """Scrub a departing retailer from the open day's journal.
+
+        Four places reference it: the pinned sweep intent, the
+        per-retailer task records (train/retrieval/publish), the
+        journaled inference cell assignment, and completed cell payloads
+        (whose result tables are derived from the tenant's data).  All
+        are mutated in place so a later :meth:`recover` of the open day
+        neither retrains, re-infers, nor reports the departed tenant.
+        """
+        day = self.journal.open_day()
+        if day is None:
+            return
+        intent = self.journal.day_intent(day)
+        configs = intent.get("configs")
+        if configs is not None:
+            intent["configs"] = [
+                c for c in configs if c.retailer_id != retailer_id  # type: ignore[union-attr]
+            ]
+        self.journal.purge_tasks(
+            day, lambda phase, task_id: task_id == retailer_id
+        )
+        if self.journal.is_done(day, "infer_plan", "assignment"):
+            payload = self.journal.task_payload(day, "infer_plan", "assignment")
+            payload["assignment"] = [
+                (cell, [rid for rid in group if rid != retailer_id])
+                for cell, group in payload["assignment"]  # type: ignore[union-attr]
+            ]
+        for cell_payload in self.journal.completed(day, "infer").values():
+            for field_name in ("results", "failed"):
+                table = cell_payload.get(field_name)
+                if isinstance(table, dict):
+                    table.pop(retailer_id, None)
 
     def close(self) -> None:
         """Shut down the training fleet's worker pool (idempotent).
@@ -264,7 +336,11 @@ class SigmundService:
     # ------------------------------------------------------------------
     # The daily loop
     # ------------------------------------------------------------------
-    def run_day(self, force_full_sweep: bool = False) -> DailyRunReport:
+    def run_day(
+        self,
+        force_full_sweep: bool = False,
+        blocks: Optional[List[str]] = None,
+    ) -> DailyRunReport:
         """One full daily cycle: sweep -> train -> infer -> serve -> monitor.
 
         The day's intent (sweep kind plus the exact configs planned) is
@@ -272,6 +348,11 @@ class SigmundService:
         its side effects land.  If the coordinator dies mid-run (a
         :class:`SimulatedCrash` from the armed :class:`CrashPlan`), call
         :meth:`recover` to resume the open day where it stopped.
+
+        ``blocks`` (DAG orchestration only) restricts the run to a
+        selection of graph blocks — e.g. ``["train/r3"]`` — leaving the
+        day open; a later :meth:`recover` (or :meth:`run_day` of the
+        selection's complement) finishes and commits it.
         """
         day = self._next_day
         self._next_day += 1
@@ -298,9 +379,9 @@ class SigmundService:
         self.journal.begin_day(
             day, {"sweep_kind": sweep_kind, "configs": list(plan.configs)}
         )
-        return self._execute_day(day)
+        return self._execute_day(day, blocks=blocks)
 
-    def recover(self) -> Optional[DailyRunReport]:
+    def recover(self, blocks: Optional[List[str]] = None) -> Optional[DailyRunReport]:
         """Resume the begun-but-uncommitted day, if any.
 
         Re-executes the open day through the same code path as
@@ -309,18 +390,29 @@ class SigmundService:
         re-run (their results are replayed from the journal), published
         tables are not re-validated or re-loaded, and no billed cost is
         billed again.  Returns ``None`` when there is nothing to recover.
+
+        ``blocks`` (DAG orchestration only) resumes just a selection of
+        the open day's graph, leaving the day open for further recovery.
         """
         day = self.journal.open_day()
         if day is None:
             return None
-        return self._execute_day(day)
+        return self._execute_day(day, blocks=blocks)
 
     def _check(self, stage: str, label: str = "") -> None:
         if self.crash_plan is not None:
             self.crash_plan.check(stage, label)
 
-    def _execute_day(self, day: int) -> DailyRunReport:
+    def _execute_day(
+        self, day: int, blocks: Optional[List[str]] = None
+    ) -> DailyRunReport:
         """Run (or resume) one journaled day; shared by run_day/recover."""
+        if self.orchestration == "dag":
+            return self._execute_day_dag(day, blocks=blocks)
+        if blocks:
+            raise SigmundError(
+                "partial --blocks runs require orchestration='dag'"
+            )
         intent = self.journal.day_intent(day)
         report = DailyRunReport(day=day, sweep_kind=str(intent["sweep_kind"]))
         self._check("day_begin")
@@ -357,6 +449,109 @@ class SigmundService:
 
         self.reports.append(report)
         return report
+
+    def _execute_day_dag(
+        self, day: int, blocks: Optional[List[str]] = None
+    ) -> DailyRunReport:
+        """Run (or resume) one journaled day as a dependency graph.
+
+        The same blocks, journal keys, kill points, and fold logic as the
+        serial phases — declared in :func:`repro.dag.dayplan.build_day_graph`
+        and scheduled by :class:`~repro.dag.runner.GraphRunner` with up to
+        ``max_parallelism`` lanes.  A full run commits inside the wrapup
+        block exactly like the serial path; a ``blocks``-restricted run
+        leaves the day open (and out of :attr:`reports`) until a later
+        :meth:`recover` completes it.
+        """
+        intent = self.journal.day_intent(day)
+        report = DailyRunReport(day=day, sweep_kind=str(intent["sweep_kind"]))
+        self._check("day_begin")
+        # Same invariant as the serial path: the day registry folds only
+        # journaled task payloads, rebuilt fresh per execution.
+        day_metrics = MetricsRegistry() if self.metrics.enabled else NULL_METRICS
+        state = DayState(report=report, day_metrics=day_metrics)
+        graph = build_day_graph(self, day, intent, state)
+        select = build_selection(graph, list(blocks)) if blocks else None
+        runner = GraphRunner(
+            journal=self.journal,
+            day=day,
+            crash_check=self._check,
+            max_parallelism=self.max_parallelism,
+        )
+        result = runner.run(graph, select=select)
+        self.last_dag_run = result
+        if self.tracer.enabled:
+            # One span per scheduled block at its simulated lane times;
+            # the day seal (the equivalence contract) carries no traces.
+            start = self.tracer.clock.now
+            for block_run in result.schedule():
+                self.tracer.record_span(
+                    "block",
+                    start + block_run.start,
+                    start + block_run.finish,
+                    name=block_run.name,
+                )
+            self.tracer.clock.advance(result.makespan)
+        if self.journal.is_committed(day):
+            self.reports.append(report)
+        return report
+
+    def backfill_retailer(
+        self, retailer_id: str, day: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Re-run one retailer's failed subgraph of a *committed* day.
+
+        The daily run degrades a failed retailer to stale tables and
+        moves on; this repairs it after the fact — train from the day's
+        pinned intent configs, rebuild the ANN index, infer, and publish
+        at the day's version — without touching any other retailer's
+        tables, versions, or billed costs, and without reopening the
+        day's sealed record.  Journaled under ``backfill_*`` phases, so
+        repeating a backfill replays instead of re-billing.
+        """
+        if retailer_id not in self._datasets:
+            raise DataError(f"retailer {retailer_id!r} not onboarded")
+        if day is None:
+            committed = self.journal.committed_days()
+            if not committed:
+                raise SigmundError("no committed day to backfill")
+            day = committed[-1]
+        if not self.journal.is_committed(day):
+            raise SigmundError(
+                f"day {day} is not committed; recover() resumes open days, "
+                "backfill_retailer() repairs committed ones"
+            )
+        version = day + 1
+        if (self.substitutes_store.version_of(retailer_id) or -1) >= version:
+            raise SigmundError(
+                f"nothing to backfill: {retailer_id!r} already serves "
+                f"version {version}"
+            )
+        intent = self.journal.day_intent(day)
+        configs = [
+            c
+            for c in intent["configs"]  # type: ignore[union-attr]
+            if c.retailer_id == retailer_id
+        ]
+        if not configs:
+            raise SigmundError(
+                f"day {day} planned no configs for {retailer_id!r}"
+            )
+        state = BackfillState()
+        graph = build_backfill_graph(
+            self, day, retailer_id, configs, version, state
+        )
+        runner = GraphRunner(journal=self.journal, day=day, max_parallelism=1)
+        self.last_dag_run = runner.run(graph)
+        return {
+            "retailer_id": retailer_id,
+            "day": day,
+            "version": version if state.published else None,
+            "trained": state.trained,
+            "cost": state.cost,
+            "published": state.published,
+            "failure": state.failure,
+        }
 
     # -- phase 1: per-retailer training --------------------------------
     def _train_phase(

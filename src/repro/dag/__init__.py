@@ -1,0 +1,69 @@
+"""Declarative DAG orchestration for the daily run.
+
+``repro.dag`` turns ``SigmundService._execute_day``'s imperative
+sequence into a dependency graph: :class:`~repro.dag.block.Block`
+declares one unit of work (journal key, kill points, retry/failure
+policy, metrics fold), :class:`~repro.dag.graph.DayGraph` holds the
+wiring (cycle detection, deterministic topological order), and
+:class:`~repro.dag.runner.GraphRunner` executes with bounded
+parallelism over a simulated clock.  :mod:`repro.dag.dayplan` builds
+the actual day graph and the single-retailer backfill graph.
+
+The serial imperative path remains the reference;
+``tests/test_dag_recovery.py`` pins both byte-identical on the sealed
+day snapshot at every crash kill point.
+"""
+
+from repro.dag.block import (
+    FAILURE_POLICIES,
+    HALT,
+    SKIP_DEPENDENTS,
+    Block,
+    CycleError,
+    DagError,
+)
+from repro.dag.dayplan import (
+    BackfillState,
+    DayState,
+    build_backfill_graph,
+    build_day_graph,
+    build_selection,
+)
+from repro.dag.graph import DayGraph
+from repro.dag.runner import (
+    BLOCKED,
+    DISABLED,
+    FAILED,
+    RAN,
+    REPLAYED,
+    SKIPPED,
+    UNSELECTED,
+    BlockRun,
+    GraphRunner,
+    GraphRunResult,
+)
+
+__all__ = [
+    "Block",
+    "BlockRun",
+    "BackfillState",
+    "CycleError",
+    "DagError",
+    "DayGraph",
+    "DayState",
+    "GraphRunner",
+    "GraphRunResult",
+    "FAILURE_POLICIES",
+    "HALT",
+    "SKIP_DEPENDENTS",
+    "RAN",
+    "REPLAYED",
+    "DISABLED",
+    "UNSELECTED",
+    "BLOCKED",
+    "FAILED",
+    "SKIPPED",
+    "build_backfill_graph",
+    "build_day_graph",
+    "build_selection",
+]

@@ -1,0 +1,120 @@
+"""Declarative blocks: the unit of work in the daily-run DAG.
+
+The paper's daily pipeline — sweep, train, infer, publish, monitor — is
+an unattended production run over thousands of retailers; its recovery
+and gating behaviour must be *structural*, not hand-placed.  A
+:class:`Block` declares everything the orchestrator needs to run one
+unit of work safely:
+
+* ``depends_on`` — names of blocks whose side effects must land first,
+* ``journal`` — the ``(phase, task_id)`` under which the block's payload
+  is write-ahead-logged; a journaled block is **replayed** (payload read
+  back, side effects skipped) when the day is recovered after a crash,
+* ``pre_kill`` / ``post_kill`` — the named coordinator kill points that
+  used to be hand-woven through ``SigmundService._execute_day``; the
+  runner checks them immediately before the block runs and immediately
+  after its completion is journaled,
+* ``fold`` — how the block's payload is absorbed into day-level state
+  (report fields, the day metrics registry); folding happens on fresh
+  runs *and* on journal replays, which is what makes a recovered day
+  seal byte-identical metrics,
+* ``max_attempts`` / ``on_failure`` — the retry budget and what a final
+  failure does to the rest of the graph,
+* ``expand`` — dynamic fan-out: a block whose payload determines more
+  blocks (the inference cell assignment is only known once the plan
+  block has run).
+
+Blocks carry no scheduling state; :class:`~repro.dag.runner.GraphRunner`
+owns execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+from repro.exceptions import SigmundError
+
+#: Failure policies: a block that exhausts ``max_attempts`` either halts
+#: the whole run (the exception propagates, like a coordinator death) or
+#: is recorded as failed while its transitive dependents are skipped and
+#: every independent block still runs.
+HALT = "halt"
+SKIP_DEPENDENTS = "skip"
+FAILURE_POLICIES = (HALT, SKIP_DEPENDENTS)
+
+Payload = Dict[str, object]
+
+
+class DagError(SigmundError):
+    """The DAG was declared or used out of protocol."""
+
+
+class CycleError(DagError):
+    """The dependency graph contains a cycle (named in the message)."""
+
+
+@dataclass
+class Block:
+    """One declarative unit of the daily run.
+
+    ``run`` performs the side effects and returns the journal payload;
+    ``None`` makes the block a pure synchronization point (it "runs"
+    instantly with an empty payload).  ``duration`` is the simulated
+    seconds the block occupies its lane — a constant or a callable on
+    the payload (e.g. the training makespan recorded inside it) — and
+    only shapes the schedule, never the results.
+    """
+
+    name: str
+    run: Optional[Callable[[], Payload]] = None
+    depends_on: Tuple[str, ...] = ()
+    #: Absorb the payload into day-level state; called exactly once per
+    #: execution, for fresh runs and journal replays alike.
+    fold: Optional[Callable[[Payload], None]] = None
+    #: ``(phase, task_id)`` in the run journal; None = never journaled
+    #: (the block re-runs on recovery, e.g. the wrap-up).
+    journal: Optional[Tuple[str, str]] = None
+    #: ``(stage, label)`` crash-plan checks around the journaled unit.
+    pre_kill: Optional[Tuple[str, str]] = None
+    post_kill: Optional[Tuple[str, str]] = None
+    max_attempts: int = 1
+    on_failure: str = HALT
+    #: Evaluated once its dependencies are done; False skips the block
+    #: entirely (no run, no journal, no fold) while dependents proceed —
+    #: the graph form of the serial loop's guard-and-``continue``.
+    enabled: Optional[Callable[[], bool]] = None
+    #: Dynamic fan-out: blocks derived from this block's payload.  Runs
+    #: on replays too, so a recovered day rebuilds the same sub-graph
+    #: from the journaled payload.
+    expand: Optional[Callable[[Payload], Iterable["Block"]]] = None
+    duration: Union[float, Callable[[Payload], float]] = 0.0
+    #: Free-form labels for introspection (retailer id, cell name, ...).
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or any(ch.isspace() for ch in self.name):
+            raise DagError(f"block name {self.name!r} must be non-empty, no whitespace")
+        if self.max_attempts < 1:
+            raise DagError(f"block {self.name!r}: max_attempts must be >= 1")
+        if self.on_failure not in FAILURE_POLICIES:
+            raise DagError(
+                f"block {self.name!r}: unknown failure policy {self.on_failure!r}; "
+                f"expected one of {FAILURE_POLICIES}"
+            )
+        if self.name in self.depends_on:
+            raise DagError(f"block {self.name!r} depends on itself")
+
+    @property
+    def family(self) -> str:
+        """The block family: everything before the first ``/``.
+
+        Names follow ``family/qualifier`` (``train/r3``, ``infer/cell_a``);
+        partial-rerun selections and the progress display group by family.
+        """
+        return self.name.split("/", 1)[0]
+
+    def duration_of(self, payload: Payload) -> float:
+        if callable(self.duration):
+            return max(0.0, float(self.duration(payload)))
+        return max(0.0, float(self.duration))

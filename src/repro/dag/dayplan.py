@@ -1,0 +1,558 @@
+"""The daily run, re-expressed as a declarative graph.
+
+:func:`build_day_graph` produces the block structure of one Sigmund day:
+
+* ``train/<rid>`` — one per retailer in the journaled sweep intent,
+* ``retrieval/<rid>`` — one per onboarded retailer, depending only on
+  *its own* train block (the ANN build reads nothing cross-retailer),
+* ``infer_plan`` — depends on every train block (the healthy set needs
+  all training verdicts); its journaled assignment payload **expands**
+  into one ``infer/<cell>`` block per cell,
+* ``infer_finalize`` — fan-in of every cell; derives the run-wide
+  inference stats and expands into one ``publish/<rid>`` block per
+  retailer with results,
+* ``wrapup`` — the fan-in of everything: monitoring, detectors, seal,
+  commit.
+
+Every block's ``run`` body, ``journal`` key, kill points, and ``fold``
+mirror the serial phases of ``SigmundService._execute_day`` line for
+line — the crash-equivalence suite (``tests/test_dag_recovery.py``) pins
+the two paths byte-identical on the day seal, and the fold closures are
+written so their execution order matches the serial iteration order
+whenever blocks become ready simultaneously (declaration order is the
+scheduler's tie-break).
+
+:func:`build_selection` turns a ``--blocks`` request (names or families)
+into a selection predicate for partial reruns, closed over upstream
+dependencies so a selected block never sits behind an unselected one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ConfigRecord
+from repro.core.inference import InferenceResult, InferenceStats
+from repro.dag.block import Block, DagError
+from repro.dag.graph import DayGraph
+from repro.exceptions import SigmundError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+
+@dataclass
+class DayState:
+    """Mutable cross-block state of one day execution.
+
+    The serial path threads these through ``_execute_day`` as locals and
+    arguments; the graph threads them through fold closures.  Everything
+    here is rebuilt per execution and populated *only* from journaled
+    payloads (or values derived from them) — the invariant that makes a
+    recovered day seal byte-identical.
+    """
+
+    report: object
+    day_metrics: object = NULL_METRICS
+    failure_reasons: Dict[str, str] = field(default_factory=dict)
+    #: rid -> accepted ANN adapter (feeds inference candidate pools).
+    retrieval: Dict[str, object] = field(default_factory=dict)
+    stats: InferenceStats = field(default_factory=InferenceStats)
+    results: Dict[str, InferenceResult] = field(default_factory=dict)
+    infer_failed: Dict[str, str] = field(default_factory=dict)
+    served: List[str] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# The day graph
+# ----------------------------------------------------------------------
+def build_day_graph(service, day: int, intent: Dict[str, object], state: DayState):
+    """Declare one day of ``service`` as a :class:`DayGraph`.
+
+    Declaration order is the scheduler's tie-break, so it deliberately
+    matches the serial path's iteration order: sorted train blocks, then
+    sorted retrieval blocks, then the plan, finalize, and wrap-up.
+    """
+    report = state.report
+    day_metrics = state.day_metrics
+    graph = DayGraph()
+
+    configs: List[ConfigRecord] = list(intent["configs"])  # type: ignore[arg-type]
+    by_retailer: Dict[str, List[ConfigRecord]] = {}
+    for config in configs:
+        by_retailer.setdefault(config.retailer_id, []).append(config)
+
+    # -- train/<rid> ----------------------------------------------------
+    def make_train(rid: str) -> Block:
+        def run():
+            return service._train_retailer(day, rid, by_retailer[rid])
+
+        def fold(payload):
+            report.configs_trained += int(payload["trained"])
+            report.configs_failed += int(payload["failed"])
+            report.training_cost += float(payload["cost"])
+            makespan = float(payload["makespan"])
+            report.training_makespan = max(report.training_makespan, makespan)
+            report.preemptions += int(payload["preemptions"])
+            if payload.get("failure"):
+                state.failure_reasons[rid] = str(payload["failure"])
+            snapshot = payload.get("metrics")
+            if snapshot is not None:
+                day_metrics.fold(snapshot)
+            day_metrics.gauge("train_makespan_seconds", retailer=rid).set(makespan)
+
+        return Block(
+            name=f"train/{rid}",
+            run=run,
+            fold=fold,
+            journal=("train", rid),
+            pre_kill=("train_task", rid),
+            post_kill=("train_logged", rid),
+            duration=lambda payload: float(payload["makespan"]),
+            labels={"retailer": rid},
+        )
+
+    train_names = []
+    for rid in sorted(by_retailer):
+        graph.add(make_train(rid))
+        train_names.append(f"train/{rid}")
+
+    # -- retrieval/<rid> ------------------------------------------------
+    def make_retrieval(rid: str) -> Block:
+        def enabled():
+            return rid not in state.failure_reasons and service.registry.has_models(rid)
+
+        def run():
+            return service._build_retrieval_index(day, rid)
+
+        def fold(payload):
+            snapshot = payload.get("metrics")
+            if snapshot is not None:
+                day_metrics.fold(snapshot)
+            if not payload["built"]:
+                return
+            report.indexes_built += 1
+            if payload["accepted"]:
+                state.retrieval[rid] = payload["index"]
+            else:
+                report.indexes_rejected += 1
+
+        deps = (f"train/{rid}",) if f"train/{rid}" in graph else ()
+        return Block(
+            name=f"retrieval/{rid}",
+            run=run,
+            depends_on=deps,
+            fold=fold,
+            journal=("retrieval", rid),
+            pre_kill=("retrieval_build", rid),
+            post_kill=("retrieval_logged", rid),
+            enabled=enabled,
+            labels={"retailer": rid},
+        )
+
+    retrieval_names = []
+    for rid in sorted(service._datasets):
+        graph.add(make_retrieval(rid))
+        retrieval_names.append(f"retrieval/{rid}")
+
+    # -- infer_plan (expands into one block per cell) -------------------
+    def plan_run():
+        # A retailer whose training failed outright is served from
+        # yesterday's tables; inference on its stale registry entry
+        # would hide the failure behind quietly old models.
+        healthy = {
+            rid: dataset
+            for rid, dataset in service._datasets.items()
+            if rid not in state.failure_reasons
+        }
+        # Journaled as *intent*: free capacity changes as jobs run, so a
+        # recovery that replanned would bin retailers differently and
+        # re-run work that already billed.
+        return {"assignment": service.inference.plan(healthy)}
+
+    def make_cell(cell_name: str, retailer_group: List[str]) -> Block:
+        def run():
+            group = {
+                rid: service._datasets[rid]
+                for rid in retailer_group
+                if rid in service._datasets
+            }
+            cell_metrics = (
+                MetricsRegistry() if service.metrics.enabled else NULL_METRICS
+            )
+            try:
+                cell_results, job_stats, loads, cell_failed = (
+                    service.inference.run_cell(
+                        cell_name,
+                        group,
+                        day,
+                        metrics=cell_metrics,
+                        tracer=service.tracer,
+                        retrieval=state.retrieval,
+                    )
+                )
+            except SigmundError as exc:
+                cell_failed = {rid: f"cell {cell_name!r}: {exc}" for rid in group}
+                return {
+                    "results": {},
+                    "failed": cell_failed,
+                    "job_stats": None,
+                    "loads": 0,
+                    "metrics": cell_metrics.snapshot(),
+                }
+            return {
+                "results": cell_results,
+                "failed": cell_failed,
+                "job_stats": job_stats,
+                "loads": loads,
+                "metrics": cell_metrics.snapshot(),
+            }
+
+        def fold(payload):
+            state.results.update(payload["results"])  # type: ignore[arg-type]
+            state.infer_failed.update(payload["failed"])  # type: ignore[arg-type]
+            if payload["job_stats"] is not None:
+                service.inference.fold_cell(
+                    state.stats,
+                    cell_name,
+                    payload["job_stats"],  # type: ignore[arg-type]
+                    int(payload["loads"]),  # type: ignore[arg-type]
+                )
+            snapshot = payload.get("metrics")
+            if snapshot is not None:
+                day_metrics.fold(snapshot)
+
+        def duration(payload):
+            job_stats = payload.get("job_stats")
+            return job_stats.makespan_seconds if job_stats is not None else 0.0
+
+        # The cell reads the accepted ANN indexes of its own retailers
+        # only, so it waits on exactly their retrieval blocks.
+        deps = ("infer_plan",) + tuple(
+            f"retrieval/{rid}" for rid in retailer_group if f"retrieval/{rid}" in graph
+        )
+        return Block(
+            name=f"infer/{cell_name}",
+            run=run,
+            depends_on=deps,
+            fold=fold,
+            journal=("infer", cell_name),
+            pre_kill=("infer_cell", cell_name),
+            post_kill=("infer_logged", cell_name),
+            expand=None,
+            duration=duration,
+            labels={"cell": cell_name},
+        )
+
+    def plan_expand(payload):
+        assignment: List[Tuple[str, List[str]]] = list(payload["assignment"])  # type: ignore[arg-type]
+        return [make_cell(cell_name, group) for cell_name, group in assignment]
+
+    graph.add(
+        Block(
+            name="infer_plan",
+            run=plan_run,
+            depends_on=tuple(train_names),
+            journal=("infer_plan", "assignment"),
+            pre_kill=("inference_plan", ""),
+            expand=plan_expand,
+        )
+    )
+
+    # -- infer_finalize (expands into one publish block per retailer) ---
+    def make_publish(rid: str) -> Block:
+        def run():
+            accepted, reason = service._publish_retailer(
+                day, rid, state.results[rid], day + 1
+            )
+            return {"accepted": accepted, "reason": reason}
+
+        def fold(payload):
+            accepted = bool(payload["accepted"])
+            reason = str(payload["reason"])
+            day_metrics.counter(
+                "publish_total",
+                retailer=rid,
+                outcome="accepted" if accepted else "rejected",
+            ).inc()
+            if accepted:
+                state.served.append(rid)
+            else:
+                report.publishes_rejected += 1
+                state.failure_reasons[rid] = reason
+            report.retailers_served = len(state.served)
+
+        return Block(
+            name=f"publish/{rid}",
+            run=run,
+            depends_on=("infer_finalize",),
+            fold=fold,
+            journal=("publish", rid),
+            pre_kill=("publish", rid),
+            post_kill=("publish_logged", rid),
+            labels={"retailer": rid},
+        )
+
+    def finalize_run():
+        service.inference.finalize_stats(
+            state.stats, state.results, state.infer_failed
+        )
+        for rid in state.stats.failed_retailers:
+            state.failure_reasons.setdefault(
+                rid,
+                "inference: " + state.stats.failure_reasons.get(rid, "failed"),
+            )
+        report.inference_cost = state.stats.total_cost
+        report.inference_makespan = state.stats.makespan_seconds
+        report.preemptions += state.stats.preemptions
+        return {"retailers": sorted(state.results)}
+
+    def finalize_expand(payload):
+        return [make_publish(rid) for rid in payload["retailers"]]  # type: ignore[union-attr]
+
+    # Not journaled: its outputs are pure functions of the folded cell
+    # payloads, so a recovered day re-derives them identically.  The
+    # runner augments its dependencies with every expanded infer/<cell>.
+    graph.add(
+        Block(
+            name="infer_finalize",
+            run=finalize_run,
+            depends_on=("infer_plan",),
+            expand=finalize_expand,
+        )
+    )
+
+    # -- wrapup ---------------------------------------------------------
+    def wrapup_run():
+        # _wrapup_phase carries its own "wrapup" kill point, the seal
+        # build, the commit, and the monitor snapshot.
+        service._wrapup_phase(
+            day, state.served, state.failure_reasons, report, day_metrics
+        )
+        return {}
+
+    graph.add(
+        Block(
+            name="wrapup",
+            run=wrapup_run,
+            depends_on=tuple(train_names)
+            + tuple(retrieval_names)
+            + ("infer_plan", "infer_finalize"),
+        )
+    )
+    graph.validate()
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Partial-run selection
+# ----------------------------------------------------------------------
+#: Families in dependency order.  Selecting anything from the day's tail
+#: (the plan onward) requires the whole fleet's training verdicts, so it
+#: widens to the full graph.
+FAMILIES = ("train", "retrieval", "infer_plan", "infer", "infer_finalize", "publish", "wrapup")
+_TAIL_FAMILIES = {"infer_plan", "infer", "infer_finalize", "publish", "wrapup"}
+
+
+def build_selection(
+    graph: DayGraph, blocks: List[str]
+) -> Optional[Callable[[str], bool]]:
+    """A selection predicate for ``--blocks`` partial reruns.
+
+    Tokens are block names (``train/r3``) or whole families (``train``).
+    The selection is closed upward over dependencies: ``retrieval/r3``
+    pulls in ``train/r3``; any tail family (``infer_plan``, ``infer``,
+    ``publish``, ``wrapup``, ``infer_finalize``) pulls in the entire
+    graph, because the inference plan consumes every retailer's training
+    verdict.  Returns ``None`` (run everything) for an empty request or
+    one that widened to the full graph.
+    """
+    if not blocks:
+        return None
+    names: Set[str] = set()
+    for token in blocks:
+        token = token.strip()
+        if not token:
+            continue
+        family = token.split("/", 1)[0]
+        if family not in FAMILIES:
+            raise DagError(
+                f"unknown block {token!r}; families are {', '.join(FAMILIES)}"
+            )
+        if family in _TAIL_FAMILIES:
+            return None  # widened to the whole day
+        if "/" in token:
+            if token not in graph:
+                known = sorted(n for n in graph.names() if n.startswith(family + "/"))
+                raise DagError(
+                    f"unknown block {token!r}; {family} blocks are {known}"
+                )
+            names.add(token)
+        else:
+            matched = [n for n in graph.names() if graph.block(n).family == family]
+            if not matched:
+                raise DagError(f"no {family!r} blocks in this day's graph")
+            names.update(matched)
+    # Close upward: a selected block must never wait on an unselected one.
+    changed = True
+    while changed:
+        changed = False
+        for name in list(names):
+            for dep in graph.block(name).depends_on:
+                if dep not in names:
+                    names.add(dep)
+                    changed = True
+    selected = frozenset(names)
+    return lambda name: name in selected
+
+
+# ----------------------------------------------------------------------
+# Single-retailer backfill
+# ----------------------------------------------------------------------
+@dataclass
+class BackfillState:
+    """Cross-block state of one retailer's backfill run."""
+
+    failure: Optional[str] = None
+    trained: int = 0
+    cost: float = 0.0
+    retrieval: Dict[str, object] = field(default_factory=dict)
+    retrieval_payload: Optional[Dict[str, object]] = None
+    result: Optional[InferenceResult] = None
+    published: bool = False
+    reason: str = ""
+
+
+def build_backfill_graph(
+    service,
+    day: int,
+    retailer_id: str,
+    configs: List[ConfigRecord],
+    version: int,
+    state: BackfillState,
+) -> DayGraph:
+    """One retailer's train -> retrieval -> infer -> publish chain.
+
+    Journaled under ``backfill_*`` phases of the (already committed) day,
+    so a repeated backfill replays instead of re-billing.  No kill points
+    and no day-seal mutation: the day's committed record stays untouched;
+    only this retailer's tables, registry entries, and chargeback move.
+    """
+    rid = retailer_id
+    graph = DayGraph()
+
+    def train_run():
+        return service._train_retailer(day, rid, configs)
+
+    def train_fold(payload):
+        state.trained += int(payload["trained"])
+        state.cost += float(payload["cost"])
+        if payload.get("failure"):
+            state.failure = str(payload["failure"])
+
+    graph.add(
+        Block(
+            name=f"backfill_train/{rid}",
+            run=train_run,
+            fold=train_fold,
+            journal=("backfill_train", rid),
+            labels={"retailer": rid},
+        )
+    )
+
+    def retrieval_enabled():
+        return state.failure is None and service.registry.has_models(rid)
+
+    def retrieval_run():
+        return service._build_retrieval_index(day, rid)
+
+    def retrieval_fold(payload):
+        state.retrieval_payload = payload
+        if payload["built"] and payload["accepted"]:
+            state.retrieval[rid] = payload["index"]
+
+    graph.add(
+        Block(
+            name=f"backfill_retrieval/{rid}",
+            run=retrieval_run,
+            depends_on=(f"backfill_train/{rid}",),
+            fold=retrieval_fold,
+            journal=("backfill_retrieval", rid),
+            enabled=retrieval_enabled,
+            labels={"retailer": rid},
+        )
+    )
+
+    def infer_enabled():
+        return state.failure is None
+
+    def infer_run():
+        cell_metrics = MetricsRegistry() if service.metrics.enabled else NULL_METRICS
+        results, stats = service.inference.run(
+            {rid: service._datasets[rid]},
+            day=day,
+            metrics=cell_metrics,
+            tracer=service.tracer,
+            retrieval=state.retrieval,
+        )
+        return {
+            "results": results,
+            "failed": stats.failure_reasons,
+            "cost": stats.total_cost,
+        }
+
+    def infer_fold(payload):
+        state.cost += float(payload["cost"])
+        failed = payload["failed"]
+        if rid in failed:  # type: ignore[operator]
+            state.failure = "inference: " + str(failed[rid])  # type: ignore[index]
+        state.result = payload["results"].get(rid)  # type: ignore[union-attr]
+
+    graph.add(
+        Block(
+            name=f"backfill_infer/{rid}",
+            run=infer_run,
+            depends_on=(f"backfill_retrieval/{rid}",),
+            fold=infer_fold,
+            journal=("backfill_infer", rid),
+            enabled=infer_enabled,
+            labels={"retailer": rid},
+        )
+    )
+
+    def publish_enabled():
+        return state.failure is None and state.result is not None
+
+    def publish_run():
+        accepted, reason = service._publish_retailer(day, rid, state.result, version)
+        if accepted:
+            payload = state.retrieval_payload
+            if (
+                payload is not None
+                and payload["accepted"]
+                and (service.retrieval_store.version_of(rid) or -1) < version
+            ):
+                # The day's own retrieval task was skipped (the retailer
+                # had failed), so _load_retrieval_index finds nothing —
+                # the backfilled index rides the version here instead.
+                service.retrieval_store.load(rid, payload["index"], version)
+        return {"accepted": accepted, "reason": reason}
+
+    def publish_fold(payload):
+        state.published = bool(payload["accepted"])
+        state.reason = str(payload["reason"])
+        if not state.published:
+            state.failure = state.reason
+
+    graph.add(
+        Block(
+            name=f"backfill_publish/{rid}",
+            run=publish_run,
+            depends_on=(f"backfill_infer/{rid}",),
+            fold=publish_fold,
+            journal=("backfill_publish", rid),
+            enabled=publish_enabled,
+            labels={"retailer": rid},
+        )
+    )
+    graph.validate()
+    return graph

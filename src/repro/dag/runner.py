@@ -1,0 +1,297 @@
+"""GraphRunner: deterministic bounded-parallel execution of a day graph.
+
+The runner owns the concerns that used to be woven line-by-line through
+``SigmundService._execute_day``:
+
+* **Journaling** — a block with a ``journal`` key logs its payload to
+  the WAL after its side effects land; on recovery the payload is read
+  back and the block is *replayed* (fold only, no side effects).
+* **Crash points** — ``pre_kill``/``post_kill`` stages are checked at
+  exactly the positions the serial path checked them, so the fleet's
+  kill-point matrix becomes a property of graph edges.
+* **Retry / failure policy** — ``max_attempts`` retries catch
+  ``Exception`` only; ``SimulatedCrash`` is a ``BaseException`` and
+  pierces, exactly like a coordinator death.  A final failure either
+  halts the run or skips the block's transitive dependents.
+* **Bounded parallelism** — independent blocks overlap on up to
+  ``max_parallelism`` lanes of a simulated clock.  Block bodies execute
+  for real (sequentially, in deterministic pick order) at their
+  simulated start time; ``duration`` shapes only the schedule and the
+  makespan, never the results.  This mirrors how the cluster simulator
+  treats machine time everywhere else in the repo.
+
+Determinism: ready blocks are picked by declaration order (or by a
+seeded tie-break when ``seed`` is given), so the same graph and seed
+always produce the same execution order and the same schedule.  With
+``max_parallelism=1`` the execution order *is*
+``DayGraph.topological_order()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dag.block import HALT, Block, DagError, Payload
+from repro.dag.graph import DayGraph
+
+# Terminal block statuses.
+RAN = "ran"  # executed fresh this run; side effects + journal written
+REPLAYED = "replayed"  # found in the journal; payload folded, no side effects
+DISABLED = "disabled"  # enabled() returned False; dependents proceed
+UNSELECTED = "unselected"  # outside the partial-run selection
+BLOCKED = "blocked"  # a dependency was unselected/blocked, so it cannot run
+FAILED = "failed"  # run() exhausted max_attempts (policy: skip)
+SKIPPED = "skipped"  # a transitive dependency failed
+
+EXECUTED_STATUSES = (RAN, REPLAYED)
+#: Statuses whose block produced no effects; dependents cannot run.
+DEAD_STATUSES = (FAILED, SKIPPED, UNSELECTED, BLOCKED)
+
+
+@dataclass
+class BlockRun:
+    """The outcome of one block within a single graph run."""
+
+    name: str
+    status: str
+    start: float = 0.0
+    finish: float = 0.0
+    lane: Optional[int] = None
+    attempts: int = 0
+    payload: Optional[Payload] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class GraphRunResult:
+    runs: Dict[str, BlockRun]
+    #: Names in the order their bodies executed (fresh or replayed).
+    order: List[str] = field(default_factory=list)
+    makespan: float = 0.0
+
+    def __getitem__(self, name: str) -> BlockRun:
+        return self.runs[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.runs
+
+    def schedule(self) -> List[BlockRun]:
+        """Lane-occupying runs (fresh + replayed) sorted by start time."""
+        rows = [r for r in self.runs.values() if r.status in EXECUTED_STATUSES]
+        return sorted(rows, key=lambda r: (r.start, r.finish, r.name))
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for run in self.runs.values():
+            counts[run.status] = counts.get(run.status, 0) + 1
+        return counts
+
+    def failures(self) -> List[BlockRun]:
+        return [r for r in self.runs.values() if r.status == FAILED]
+
+
+class GraphRunner:
+    """Execute a :class:`DayGraph` under a simulated clock.
+
+    ``journal``/``day`` wire block payloads into the WAL run journal;
+    ``crash_check`` is called as ``crash_check(stage, label)`` at every
+    declared kill point (the service passes ``SigmundService._check``).
+    """
+
+    def __init__(
+        self,
+        journal=None,
+        day: int = 0,
+        crash_check: Optional[Callable[[str, str], None]] = None,
+        max_parallelism: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_parallelism < 1:
+            raise DagError(f"max_parallelism must be >= 1, got {max_parallelism}")
+        self.journal = journal
+        self.day = day
+        self.crash_check = crash_check
+        self.max_parallelism = max_parallelism
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: DayGraph,
+        select: Optional[Callable[[str], bool]] = None,
+    ) -> GraphRunResult:
+        graph.validate()
+        rng = random.Random(self.seed) if self.seed is not None else None
+        pri: Dict[str, float] = {}
+        for name in graph.names():
+            pri[name] = rng.random() if rng is not None else float(len(pri))
+
+        runs: Dict[str, BlockRun] = {}
+        order: List[str] = []
+        pending: Set[str] = set(graph.names())
+        finished: Set[str] = set()  # effects complete; dependents may run
+        dead: Set[str] = set()  # produced no effects; dependents may not
+        running: List[Tuple[float, float, str]] = []  # (finish, priority, name)
+        free_lanes = list(range(self.max_parallelism))
+        heapq.heapify(free_lanes)
+        now = 0.0
+
+        def pick_key(name: str) -> Tuple[float, str]:
+            return (pri[name], name)
+
+        while pending or running:
+            self._propagate_dead(graph, pending, dead, runs, pick_key)
+            # Start every ready block a free lane allows, in priority order.
+            while len(running) < self.max_parallelism:
+                ready = [
+                    n
+                    for n in pending
+                    if all(d in finished for d in graph.block(n).depends_on)
+                ]
+                if not ready:
+                    break
+                name = min(ready, key=pick_key)
+                pending.discard(name)
+                block_run = self._start(graph, name, now, select)
+                runs[name] = block_run
+                if block_run.status in EXECUTED_STATUSES:
+                    order.append(name)
+                    self._expand(graph, name, block_run, pri, pending, rng)
+                if block_run.status == DISABLED:
+                    finished.add(name)
+                    continue
+                if block_run.status in (FAILED, UNSELECTED):
+                    dead.add(name)
+                    self._propagate_dead(graph, pending, dead, runs, pick_key)
+                    continue
+                block_run.lane = heapq.heappop(free_lanes)
+                heapq.heappush(running, (block_run.finish, pri[name], name))
+            if running:
+                now = max(now, running[0][0])
+                while running and running[0][0] <= now:
+                    _, _, name = heapq.heappop(running)
+                    finished.add(name)
+                    heapq.heappush(free_lanes, runs[name].lane)
+            elif pending:
+                # validate() rules out cycles, so this only happens when
+                # every remaining block sits behind a dead subgraph that
+                # _propagate_dead could not reach through finished deps.
+                for name in sorted(pending, key=pick_key):
+                    runs[name] = BlockRun(
+                        name=name,
+                        status=BLOCKED,
+                        error="unreachable: dependencies never completed",
+                    )
+                    dead.add(name)
+                pending.clear()
+        return GraphRunResult(runs=runs, order=order, makespan=now)
+
+    # ------------------------------------------------------------------
+    def _propagate_dead(self, graph, pending, dead, runs, pick_key) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(pending, key=pick_key):
+                bad = next(
+                    (d for d in graph.block(name).depends_on if d in dead), None
+                )
+                if bad is None:
+                    continue
+                cause = runs[bad].status
+                status = SKIPPED if cause in (FAILED, SKIPPED) else BLOCKED
+                runs[name] = BlockRun(
+                    name=name, status=status, error=f"dependency {bad!r} was {cause}"
+                )
+                pending.discard(name)
+                dead.add(name)
+                changed = True
+
+    def _start(
+        self,
+        graph: DayGraph,
+        name: str,
+        now: float,
+        select: Optional[Callable[[str], bool]],
+    ) -> BlockRun:
+        block = graph.block(name)
+        block_run = BlockRun(name=name, status=RAN, start=now, finish=now)
+        # The guard runs first, exactly like the serial loop's
+        # guard-and-continue, so a retailer knocked out upstream never
+        # reaches the journal check.
+        if block.enabled is not None and not block.enabled():
+            block_run.status = DISABLED
+            return block_run
+        journaled = (
+            self.journal is not None
+            and block.journal is not None
+            and self.journal.is_done(self.day, block.journal[0], block.journal[1])
+        )
+        if journaled:
+            # Replays ignore the selection: a recovered day must fold the
+            # complete journaled state even when only a slice reruns.
+            payload = self.journal.task_payload(
+                self.day, block.journal[0], block.journal[1]
+            )
+            block_run.status = REPLAYED
+        else:
+            if select is not None and not select(name):
+                block_run.status = UNSELECTED
+                return block_run
+            if block.pre_kill is not None:
+                self._check(*block.pre_kill)
+            payload = self._attempt(block, block_run)
+            if block_run.status == FAILED:
+                return block_run
+            if self.journal is not None and block.journal is not None:
+                self.journal.log_task(
+                    self.day, block.journal[0], block.journal[1], payload
+                )
+            if block.post_kill is not None:
+                self._check(*block.post_kill)
+            block_run.finish = now + block.duration_of(payload)
+        block_run.payload = payload
+        if block.fold is not None:
+            block.fold(payload)
+        return block_run
+
+    def _attempt(self, block: Block, block_run: BlockRun) -> Optional[Payload]:
+        error: Optional[Exception] = None
+        for attempt in range(1, block.max_attempts + 1):
+            block_run.attempts = attempt
+            try:
+                payload = block.run() if block.run is not None else {}
+                return payload if payload is not None else {}
+            except Exception as exc:  # SimulatedCrash is a BaseException: pierces
+                error = exc
+        block_run.status = FAILED
+        block_run.error = f"{type(error).__name__}: {error}"
+        if block.on_failure == HALT:
+            raise error
+        return None
+
+    def _expand(self, graph, name, block_run, pri, pending, rng) -> None:
+        block = graph.block(name)
+        if block.expand is None:
+            return
+        new_blocks = list(block.expand(block_run.payload or {}))
+        if not new_blocks:
+            return
+        # Blocks that already depend on the expander must also wait for
+        # everything it spawned (wrapup waits for every inference cell).
+        dependents = [d for d in graph.dependents_of(name) if d in pending]
+        names = []
+        for new_block in new_blocks:
+            graph.add(new_block)
+            pri[new_block.name] = rng.random() if rng is not None else float(len(pri))
+            pending.add(new_block.name)
+            names.append(new_block.name)
+        for dep_name in dependents:
+            graph.add_dependencies(dep_name, names)
+        graph.validate()
+
+    def _check(self, stage: str, label: str = "") -> None:
+        if self.crash_check is not None:
+            self.crash_check(stage, label)

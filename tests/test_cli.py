@@ -65,6 +65,27 @@ class TestParser:
         assert args.qps == 1000.0
         assert args.cache_ttl_ms == 60_000.0
 
+    def test_run_day_defaults(self):
+        args = build_parser().parse_args(["run-day"])
+        assert args.command == "run-day"
+        assert args.retailers == 3
+        assert args.days == 2
+        assert args.serial is False
+        assert args.max_parallelism == 1
+        assert args.blocks is None
+        assert args.schedule is False
+        assert args.seal_out is None
+
+    def test_run_day_overrides(self):
+        args = build_parser().parse_args(
+            ["run-day", "--serial", "--max-parallelism", "4",
+             "--blocks", "train,publish", "--schedule"]
+        )
+        assert args.serial is True
+        assert args.max_parallelism == 4
+        assert args.blocks == "train,publish"
+        assert args.schedule is True
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -116,6 +137,40 @@ class TestCommands:
         assert snapshot["fleet"]["publishes_accepted"] == 2
         assert snapshot["metrics"]["counters"]
         assert snapshot["process"]["checkpoints"]["writes"] >= 0
+
+    def test_run_day_dag_matches_serial_output(self, capsys):
+        dag_args = ["run-day", "--retailers", "2", "--days", "2",
+                    "--median-items", "40", "--max-parallelism", "4",
+                    "--schedule"]
+        assert main(dag_args) == 0
+        dag_out = capsys.readouterr().out
+        assert "sweep=full" in dag_out
+        assert "sweep=incremental" in dag_out
+        assert "infer_plan" in dag_out
+        assert "makespan=" in dag_out
+
+        serial_args = ["run-day", "--retailers", "2", "--days", "2",
+                       "--median-items", "40", "--serial"]
+        assert main(serial_args) == 0
+        serial_out = capsys.readouterr().out
+        # Per-day report lines are identical across orchestrators.
+        day_lines = [l for l in dag_out.splitlines() if l.startswith("day ")]
+        assert day_lines == [
+            l for l in serial_out.splitlines() if l.startswith("day ")
+        ]
+
+    def test_run_day_partial_blocks_and_seal_out(self, tmp_path, capsys):
+        seal_path = tmp_path / "seal.json"
+        code = main(["run-day", "--retailers", "2", "--days", "1",
+                     "--median-items", "40", "--blocks", "train",
+                     "--seal-out", str(seal_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partial (train)" in out
+        assert "wrote day 0 seal" in out
+        seal = json.loads(seal_path.read_text())
+        assert seal["day"] == 0
+        assert seal["fleet"]["publishes_accepted"] == 2
 
     def test_serve_bench_runs(self, capsys):
         code = main(["serve-bench", "--retailers", "2", "--items", "120",

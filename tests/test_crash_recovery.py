@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import build_cluster
-from repro.core.checkpoint import CheckpointFaultPlan
+from repro.core.checkpoint import CheckpointFaultPlan, InMemoryCheckpointStorage
 from repro.core.grid import GridSpec
 from repro.core.journal import JournalError, RunJournal
 from repro.core.recovery import KILL_STAGES, CrashPlan
@@ -659,3 +659,93 @@ class TestCrashRecoveryUnderFleetExecutor:
         fleet.run_day()
         sealed = json.dumps(fleet.journal.day_seal(0), sort_keys=True)
         assert sealed == expected
+
+
+# ----------------------------------------------------------------------
+# Offboarding during an open (crashed) day
+# ----------------------------------------------------------------------
+class TestOffboardPurgesOpenDayState:
+    """Regression: ``offboard()`` used to leave the retailer's journaled
+    open-day tasks and checkpoint keys behind, so a retailer offboarded
+    mid-crash was resurrected by ``recover()`` — its train payload
+    replayed into the report, its inference results republished, and its
+    model state left restorable in the checkpoint store."""
+
+    def test_offboard_mid_crash_is_not_resurrected_by_recover(self):
+        # Crash right before r1's publish: r1's training, retrieval, and
+        # inference results are all journaled by then.
+        service = make_service(
+            metrics=MetricsRegistry(),
+            crash_plan=CrashPlan().crash_at("publish", label="r1"),
+        )
+        with pytest.raises(SimulatedCrash):
+            service.run_day()
+        assert service.journal.is_done(0, "train", "r1")
+
+        service.offboard("r1")
+        assert not service.journal.is_done(0, "train", "r1")
+        assert not service.journal.is_done(0, "retrieval", "r1")
+
+        report = service.recover()
+        assert service.journal.is_committed(0)
+        # The departed tenant appears nowhere: not served, not failed,
+        # not in the sealed day record, and its tables never loaded.
+        assert "r1" not in report.failed_retailers
+        assert report.retailers_served == 1
+        assert not service.substitutes_store.has_retailer("r1")
+        assert not service.accessories_store.has_retailer("r1")
+        assert service.journal.task_count(0, "train") == 1
+        assert service.journal.task_count(0, "publish") == 1
+        assert '"r1"' not in json.dumps(service.journal.day_seal(0))
+
+    def test_offboard_mid_crash_purges_checkpoints(self):
+        storage = InMemoryCheckpointStorage()
+        service = make_service(
+            metrics=MetricsRegistry(),
+            crash_plan=CrashPlan().crash_at("train_epoch", label="r0/m0@e0"),
+            checkpoint_storage=storage,
+        )
+        with pytest.raises(SimulatedCrash):
+            service.run_day()
+        # The mid-epoch kill left r0's durable checkpoint behind.
+        assert storage.keys() == ["day0/r0/m0"]
+
+        service.offboard("r0")
+        assert storage.keys() == []
+        assert service.training.checkpoints.stored_count == 0
+
+        report = service.recover()
+        assert service.journal.is_committed(0)
+        assert "r0" not in report.failed_retailers
+        assert service.journal.task_count(0, "train") == 1
+
+    def test_offboard_purge_scrubs_journaled_inference_payloads(self):
+        # Crash after inference logged but before any publish: the cell
+        # payloads hold r1's result tables (derived from tenant data).
+        service = make_service(
+            metrics=MetricsRegistry(),
+            crash_plan=CrashPlan().crash_at("publish"),
+        )
+        with pytest.raises(SimulatedCrash):
+            service.run_day()
+        payload = service.journal.task_payload(0, "infer_plan", "assignment")
+        assert any("r1" in group for _, group in payload["assignment"])
+
+        service.offboard("r1")
+        payload = service.journal.task_payload(0, "infer_plan", "assignment")
+        assert all("r1" not in group for _, group in payload["assignment"])
+        for cell_payload in service.journal.completed(0, "infer").values():
+            assert "r1" not in cell_payload["results"]
+            assert "r1" not in cell_payload["failed"]
+
+        report = service.recover()
+        assert report.retailers_served == 1
+        assert not service.substitutes_store.has_retailer("r1")
+
+    def test_offboard_with_no_open_day_still_works(self):
+        service = make_service(metrics=MetricsRegistry())
+        service.run_day()
+        service.offboard("r1")  # committed day: journal left untouched
+        assert service.journal.is_done(0, "train", "r1")
+        report = service.run_day()
+        assert report.retailers_served == 1

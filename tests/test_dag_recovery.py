@@ -1,0 +1,292 @@
+"""Crash-equivalence harness: the DAG orchestrator vs the serial path.
+
+The contract this suite pins: a DAG-scheduled day — uninterrupted, run
+with real lane parallelism, crashed at **any** of the 14 kill points and
+recovered, or recovered across orchestration modes — produces
+byte-identical sealed metrics JSON, identical reports, store versions,
+and billed costs to the imperative serial reference run.
+
+Reuses the fixtures of ``tests/test_crash_recovery.py`` (tiny grid,
+two-retailer fleet, summarize/report_key) rather than duplicating them.
+"""
+
+import json
+
+import pytest
+
+from repro.core.recovery import KILL_STAGES, CrashPlan, SimulatedCrash
+from repro.dag import DISABLED, RAN, REPLAYED, UNSELECTED, DagError
+from repro.exceptions import SigmundError
+from repro.mapreduce.runtime import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from tests.test_crash_recovery import make_service, report_key, summarize
+
+
+def seal_bytes(service, day: int) -> str:
+    return json.dumps(service.journal.day_seal(day), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """Two uninterrupted serial days; every DAG run must reproduce them."""
+    service = make_service(metrics=MetricsRegistry())
+    reports = [service.run_day() for _ in range(2)]
+    return {
+        "seals": [seal_bytes(service, day) for day in (0, 1)],
+        "summary_day0": None,  # summaries below are end-of-day-2 state
+        "summary": summarize(service),
+        "report_keys": [report_key(r) for r in reports],
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_day0():
+    """One uninterrupted serial day-0 (the crash suite's comparison)."""
+    service = make_service(metrics=MetricsRegistry())
+    report = service.run_day()
+    return {
+        "seal": seal_bytes(service, 0),
+        "summary": summarize(service),
+        "report_key": report_key(report),
+    }
+
+
+# ----------------------------------------------------------------------
+# clean-run equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("max_parallelism", [1, 4])
+def test_clean_dag_days_match_serial(serial_baseline, max_parallelism):
+    service = make_service(
+        metrics=MetricsRegistry(),
+        orchestration="dag",
+        max_parallelism=max_parallelism,
+    )
+    reports = [service.run_day() for _ in range(2)]
+    for day in (0, 1):
+        assert seal_bytes(service, day) == serial_baseline["seals"][day]
+    assert summarize(service) == serial_baseline["summary"]
+    assert [report_key(r) for r in reports] == serial_baseline["report_keys"]
+
+
+def test_parallel_schedule_actually_overlaps_independent_work():
+    """train(retailer A) overlaps train/infer(retailer B) on real lanes."""
+    service = make_service(
+        metrics=MetricsRegistry(), orchestration="dag", max_parallelism=4
+    )
+    service.run_day()
+    result = service.last_dag_run
+    assert result is not None
+    trains = [r for r in result.schedule() if r.name.startswith("train/")]
+    assert len(trains) == 2
+    # Both retailers' sweeps occupy different lanes over the same window.
+    assert trains[0].lane != trains[1].lane
+    assert trains[0].start == trains[1].start == 0.0
+    serial = make_service(
+        metrics=MetricsRegistry(), orchestration="dag", max_parallelism=1
+    )
+    serial.run_day()
+    assert result.makespan < serial.last_dag_run.makespan
+
+
+# ----------------------------------------------------------------------
+# every kill point, crashed and recovered under the DAG runner
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("stage", KILL_STAGES)
+def test_dag_crash_at_every_kill_point_recovers_byte_identical(
+    serial_day0, stage
+):
+    service = make_service(
+        metrics=MetricsRegistry(),
+        crash_plan=CrashPlan().crash_at(stage),
+        orchestration="dag",
+    )
+    crashed = False
+    try:
+        report = service.run_day()
+    except SimulatedCrash:
+        crashed = True
+        report = service.recover()
+    assert crashed, f"kill point {stage!r} never fired under the DAG runner"
+    assert seal_bytes(service, 0) == serial_day0["seal"]
+    assert summarize(service) == serial_day0["summary"]
+    assert report_key(report) == serial_day0["report_key"]
+    # The recovery replayed at least one journaled block — except for
+    # the stages that fire before the first block ever completes
+    # (day_begin, and the first train task's pre-kill / mid-epoch kill).
+    statuses = {r.status for r in service.last_dag_run.runs.values()}
+    if stage not in ("day_begin", "train_task", "train_epoch"):
+        assert REPLAYED in statuses
+
+
+@pytest.mark.parametrize("stage", ["train_logged", "infer_cell", "publish_mid", "wrapup"])
+@pytest.mark.parametrize(
+    "crash_mode,recover_mode", [("serial", "dag"), ("dag", "serial")]
+)
+def test_recovery_crosses_orchestration_modes(
+    serial_day0, stage, crash_mode, recover_mode
+):
+    """A day crashed under one orchestrator recovers under the other.
+
+    The journal is the only interface between the two paths, so this
+    pins that both write (and replay) the exact same records.
+    """
+    service = make_service(
+        metrics=MetricsRegistry(),
+        crash_plan=CrashPlan().crash_at(stage),
+        orchestration=crash_mode,
+    )
+    with pytest.raises(SimulatedCrash):
+        service.run_day()
+    service.orchestration = recover_mode
+    report = service.recover()
+    assert seal_bytes(service, 0) == serial_day0["seal"]
+    assert summarize(service) == serial_day0["summary"]
+    assert report_key(report) == serial_day0["report_key"]
+
+
+# ----------------------------------------------------------------------
+# partial reruns (--blocks)
+# ----------------------------------------------------------------------
+
+
+def test_partial_run_leaves_day_open_then_recovery_completes(serial_day0):
+    service = make_service(metrics=MetricsRegistry(), orchestration="dag")
+    service.run_day(blocks=["train/r0"])
+    assert service.journal.open_day() == 0
+    assert service.journal.task_count(0, "train") == 1
+    assert service.reports == []  # an open day is not reported yet
+    runs = service.last_dag_run.runs
+    assert runs["train/r0"].status == RAN
+    assert runs["train/r1"].status == UNSELECTED
+    assert runs["wrapup"].status == "blocked"
+
+    report = service.recover()
+    assert service.journal.is_committed(0)
+    assert service.last_dag_run.runs["train/r0"].status == REPLAYED
+    assert seal_bytes(service, 0) == serial_day0["seal"]
+    assert summarize(service) == serial_day0["summary"]
+    assert report_key(report) == serial_day0["report_key"]
+
+
+def test_selection_closes_over_upstream_dependencies():
+    service = make_service(metrics=MetricsRegistry(), orchestration="dag")
+    service.run_day(blocks=["retrieval/r1"])
+    runs = service.last_dag_run.runs
+    # retrieval/r1 pulled its own train block in; nothing else ran.
+    assert runs["train/r1"].status == RAN
+    assert runs["retrieval/r1"].status in (RAN, DISABLED)
+    assert runs["train/r0"].status == UNSELECTED
+    assert service.journal.open_day() == 0
+    service.recover()
+    assert service.journal.is_committed(0)
+
+
+def test_selection_of_tail_family_widens_to_the_full_day(serial_day0):
+    service = make_service(metrics=MetricsRegistry(), orchestration="dag")
+    service.run_day(blocks=["publish"])
+    assert service.journal.is_committed(0)
+    assert seal_bytes(service, 0) == serial_day0["seal"]
+
+
+def test_unknown_block_selection_raises():
+    service = make_service(metrics=MetricsRegistry(), orchestration="dag")
+    with pytest.raises(DagError, match="unknown block"):
+        service.run_day(blocks=["train/ghost"])
+    with pytest.raises(DagError, match="families"):
+        service.recover(blocks=["compress/r0"])
+
+
+def test_serial_orchestration_rejects_blocks():
+    service = make_service(metrics=MetricsRegistry())
+    with pytest.raises(SigmundError, match="orchestration='dag'"):
+        service.run_day(blocks=["train/r0"])
+
+
+def test_constructor_validates_orchestration_params():
+    with pytest.raises(SigmundError, match="orchestration"):
+        make_service(orchestration="imperative")
+    with pytest.raises(SigmundError, match="max_parallelism"):
+        make_service(orchestration="dag", max_parallelism=0)
+
+
+# ----------------------------------------------------------------------
+# single-retailer backfill
+# ----------------------------------------------------------------------
+
+
+def test_backfill_repairs_one_retailer_without_touching_others():
+    fault = FaultPlan().fail_mapper(
+        lambda record: getattr(record, "retailer_id", None) == "r1", times=1
+    )
+    service = make_service(
+        metrics=MetricsRegistry(), orchestration="dag", fault_plan=fault
+    )
+    report = service.run_day()
+    assert "r1" in report.failed_retailers
+    assert service.substitutes_store.version_of("r1") is None
+
+    sealed = seal_bytes(service, 0)
+    r0_versions = (
+        service.substitutes_store.version_of("r0"),
+        service.accessories_store.version_of("r0"),
+    )
+    r0_cost = service.retailer_costs()["r0"]
+    r1_cost_before = service.retailer_costs().get("r1", 0.0)
+
+    outcome = service.backfill_retailer("r1")
+    assert outcome["published"] and outcome["version"] == 1
+    assert service.substitutes_store.version_of("r1") == 1
+    assert service.accessories_store.version_of("r1") == 1
+
+    # No other retailer's tables, versions, or billed costs moved, and
+    # the committed day's sealed record is untouched.
+    assert (
+        service.substitutes_store.version_of("r0"),
+        service.accessories_store.version_of("r0"),
+    ) == r0_versions
+    assert service.retailer_costs()["r0"] == r0_cost
+    assert service.retailer_costs()["r1"] > r1_cost_before
+    assert seal_bytes(service, 0) == sealed
+
+    # The rerun is billed to the backfilled retailer via the normal
+    # chargeback accounts (no free work), and repeating it is refused.
+    with pytest.raises(SigmundError, match="already serves"):
+        service.backfill_retailer("r1")
+
+    # The journal holds the backfill under its own phases, so the day's
+    # original task record is intact.
+    assert service.journal.task_count(0, "backfill_train") == 1
+    assert service.journal.task_count(0, "train") == 2
+
+
+def test_backfill_requires_a_committed_day_and_known_retailer():
+    service = make_service(metrics=MetricsRegistry(), orchestration="dag")
+    with pytest.raises(SigmundError, match="no committed day"):
+        service.backfill_retailer("r0")
+    service.run_day()
+    with pytest.raises(SigmundError):
+        service.backfill_retailer("ghost")
+    with pytest.raises(SigmundError, match="already serves"):
+        service.backfill_retailer("r0")  # nothing failed; nothing to do
+
+
+def test_backfill_next_day_continues_normally(serial_day0):
+    """After a backfill, the next daily run treats the retailer as
+    healthy (incremental sweep, fresh publish) — the repair leaves no
+    poisoned state behind."""
+    fault = FaultPlan().fail_mapper(
+        lambda record: getattr(record, "retailer_id", None) == "r1", times=1
+    )
+    service = make_service(
+        metrics=MetricsRegistry(), orchestration="dag", fault_plan=fault
+    )
+    service.run_day()
+    service.backfill_retailer("r1")
+    report = service.run_day()
+    assert report.failed_retailers == []
+    assert report.retailers_served == 2
+    assert service.substitutes_store.version_of("r1") == 2
